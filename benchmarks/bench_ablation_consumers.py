@@ -1,0 +1,77 @@
+"""Ablation — producer/consumer scalability (Sec. 2.1).
+
+"the overall system performance are clearly proportional to the number of
+consumers": FFT jobs posted by low-performance producers are served by a
+variable pool of FPU-equipped consumers; mean response time falls as the
+pool grows until producers become the bottleneck.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.core import SimClock, TupleSpace
+from repro.core.agents import ConsumerAgent, ProducerAgent
+from repro.des import Simulator
+
+CONSUMER_COUNTS = [1, 2, 4, 8]
+
+
+def run_pool(n_consumers, n_producers=8, n_jobs=5, service_time=0.5):
+    sim = Simulator(seed=13)
+    space = TupleSpace(clock=SimClock(sim))
+    producers = [
+        ProducerAgent(sim, space, producer_id=i, n_jobs=n_jobs,
+                      samples_per_job=8, interval=0.05)
+        for i in range(n_producers)
+    ]
+    consumers = [
+        ConsumerAgent(sim, space, consumer_id=i, service_time=service_time)
+        for i in range(n_consumers)
+    ]
+    for agent in producers + consumers:
+        agent.start()
+    sim.run(until=600.0)
+    times = [t for p in producers for t in p.response_times]
+    assert all(p.completed == n_jobs for p in producers)
+    return {
+        "consumers": n_consumers,
+        "mean_response": sum(times) / len(times),
+        "jobs": sum(c.jobs_served for c in consumers),
+        "makespan": max(
+            t for p in producers for t in [sum(p.response_times)]
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return [run_pool(n) for n in CONSUMER_COUNTS]
+
+
+def test_consumer_pool_scaling(benchmark, curve, report):
+    benchmark.pedantic(lambda: run_pool(2, n_producers=4, n_jobs=3),
+                       rounds=2, iterations=1)
+    table = Table(
+        ["consumers", "mean response s", "jobs served"],
+        title="Ablation (Sec 2.1): FFT offload, response time vs "
+              "consumer pool size (8 producers x 5 jobs, 0.5 s service)",
+    )
+    for point in curve:
+        table.add_row(point["consumers"], point["mean_response"],
+                      point["jobs"])
+    report("ablation_consumers", table.render())
+
+    responses = [p["mean_response"] for p in curve]
+    # Monotone improvement...
+    assert responses == sorted(responses, reverse=True)
+    # ...roughly proportional (1 -> 2 consumers halves the
+    # queueing-dominated response time, Sec 2.1's claim)...
+    assert responses[0] / responses[1] == pytest.approx(2.0, rel=0.2)
+    # ...until the service-time floor (0.5 s) is reached.
+    assert responses[-1] == pytest.approx(0.5, rel=0.1)
+
+
+def test_work_conserving(curve, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for point in curve:
+        assert point["jobs"] == 8 * 5

@@ -1,0 +1,114 @@
+"""Ablation — n-wire scalability (Sec. 3.2).
+
+The paper proposes two ways to use extra lines: parallel data transfer
+within each frame, or n independent 1-wire buses.  This bench regenerates
+both scaling curves:
+
+* analytic frame/cycle times of the parallel-data mode for 1..9 wires;
+* measured relay goodput of 1..4 parallel buses carrying independent
+  flows (ParallelBusGroup).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.des import Simulator
+from repro.tpwire import (
+    BusTiming,
+    MailboxDevice,
+    MasterPoller,
+    ParallelBusGroup,
+    TpwireSlave,
+    TransportEndpoint,
+    WireMode,
+    timing_for,
+)
+from repro.tpwire.transport import TransportFabric
+
+WIRE_COUNTS = [1, 2, 3, 5, 9]
+
+
+def parallel_data_curve():
+    rows = []
+    base = timing_for(1, bit_rate=2400)
+    for wires in WIRE_COUNTS:
+        timing = timing_for(wires, bit_rate=2400)
+        rows.append({
+            "wires": wires,
+            "frame_bits": timing.frame_bits_on_wire,
+            "exchange_ms": timing.exchange_duration(2) * 1000,
+            "speedup": base.exchange_duration(2) / timing.exchange_duration(2),
+        })
+    return rows
+
+
+def measure_parallel_buses(wires, payload=192):
+    """Independent flows on independent lines: aggregate relay goodput."""
+    sim = Simulator(seed=5)
+    group = ParallelBusGroup(sim, wires, bit_rate=2400)
+    timing = BusTiming(bit_rate=2400)
+    finish_times = []
+    for line in range(wires):
+        fabric = TransportFabric()
+        endpoints = []
+        for offset in (0, 1):
+            node_id = line * 10 + offset + 1
+            slave = TpwireSlave(sim, node_id, timing)
+            mailbox = MailboxDevice()
+            slave.attach_device(mailbox)
+            group.attach_slave(slave, line=line)
+            endpoints.append(
+                TransportEndpoint(sim, fabric, mailbox, node_id)
+            )
+        src, dst = endpoints
+        dst.on_data = (
+            lambda s, data, ctx, times=finish_times: times.append(sim.now)
+        )
+        poller = MasterPoller(
+            sim, group.masters[line], fabric,
+            [src.node_id, dst.node_id],
+        )
+        poller.start()
+        src.send(dst.node_id, bytes(payload))
+    sim.run(until=600.0)
+    assert len(finish_times) == wires
+    makespan = max(finish_times)
+    return wires * payload / makespan
+
+
+def test_parallel_data_mode_scaling(benchmark, report):
+    rows = benchmark.pedantic(parallel_data_curve, rounds=3, iterations=1)
+    table = Table(
+        ["wires", "frame bits", "exchange ms (2 hops)", "speedup"],
+        title="Ablation (Sec 3.2 mode 1): parallel-data n-wire scaling",
+    )
+    for row in rows:
+        table.add_row(row["wires"], row["frame_bits"],
+                      row["exchange_ms"], row["speedup"])
+    report("ablation_nwire_parallel_data", table.render())
+
+    speedups = [row["speedup"] for row in rows]
+    assert speedups == sorted(speedups)
+    # Diminishing returns: the lead+CRC bits floor the frame at 8 periods.
+    assert speedups[-1] < 2.1
+    assert rows[-1]["frame_bits"] == 8
+
+
+def test_parallel_bus_mode_scaling(benchmark, report):
+    goodputs = {
+        wires: measure_parallel_buses(wires) for wires in (1, 2, 4)
+    }
+    benchmark.pedantic(lambda: measure_parallel_buses(2), rounds=1,
+                       iterations=1)
+    table = Table(
+        ["buses", "aggregate goodput B/s", "scaling vs 1"],
+        title="Ablation (Sec 3.2 mode 2): n parallel 1-wire buses, "
+              "independent flows",
+    )
+    for wires, goodput in goodputs.items():
+        table.add_row(wires, goodput, goodput / goodputs[1])
+    report("ablation_nwire_parallel_bus", table.render())
+
+    # Independent lines scale nearly linearly for independent flows.
+    assert goodputs[2] / goodputs[1] == pytest.approx(2.0, rel=0.15)
+    assert goodputs[4] / goodputs[1] == pytest.approx(4.0, rel=0.2)

@@ -1,0 +1,68 @@
+"""Ablation — pending-event-set implementation (heap vs calendar queue).
+
+NS-2's default scheduler is a calendar queue; DESIGN.md calls out the
+choice as a knob.  This bench measures raw event throughput of both
+implementations on the workload shape the TpWIRE model produces (many
+short-horizon events at roughly uniform spacing).
+"""
+
+import pytest
+
+from repro.des import CalendarQueueScheduler, HeapScheduler, Simulator
+
+N_EVENTS = 20_000
+
+
+def churn(scheduler_factory):
+    sim = Simulator(scheduler=scheduler_factory())
+    rng = sim.stream("bench")
+    count = [0]
+
+    def handler():
+        count[0] += 1
+        if count[0] < N_EVENTS:
+            sim.after(rng.uniform(0.0, 0.02), handler)
+
+    # Seed with a small population so the queue stays shallow, as it does
+    # in the bus model (one cycle in flight plus timers).
+    for _ in range(16):
+        sim.after(rng.uniform(0.0, 0.02), handler)
+    sim.run()
+    return count[0]
+
+
+@pytest.mark.parametrize(
+    "factory", [HeapScheduler, CalendarQueueScheduler],
+    ids=["heap", "calendar-queue"],
+)
+def test_scheduler_event_throughput(benchmark, factory):
+    result = benchmark.pedantic(lambda: churn(factory), rounds=3, iterations=1)
+    # The 16 seeded handlers may each slip one extra event past the stop
+    # condition before the run drains.
+    assert N_EVENTS <= result <= N_EVENTS + 16
+
+
+def test_scheduler_choice_does_not_change_results(benchmark, report):
+    """Determinism across scheduler implementations: identical firing
+    order implies identical simulation results."""
+    def orders():
+        out = []
+        for factory in (HeapScheduler, CalendarQueueScheduler):
+            sim = Simulator(scheduler=factory())
+            rng = sim.stream("order")
+            fired = []
+            for i in range(2000):
+                sim.at(rng.uniform(0, 100.0), fired.append, i)
+            sim.run()
+            out.append(fired)
+        return out
+
+    heap_order, calendar_order = benchmark.pedantic(orders, rounds=1,
+                                                    iterations=1)
+    report(
+        "ablation_scheduler",
+        "Scheduler ablation: heap and calendar queue fire "
+        f"{len(heap_order)} events in identical order: "
+        f"{heap_order == calendar_order}",
+    )
+    assert heap_order == calendar_order

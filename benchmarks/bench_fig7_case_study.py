@@ -1,0 +1,63 @@
+"""Figure 7 — TpWIRE case-study configuration.
+
+C++ client on Slave1, CBR on Slave2, JavaSpaces server on Slave3 and a
+receiver on Slave4.  This bench regenerates the end-to-end behaviour of
+the topology itself (the per-cell numbers are Table 4's business): both
+traffic classes flow concurrently, the write and the take both cross the
+bus, and the bus stays saturated while the operation runs.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.cosim import CaseStudyConfig, CaseStudyScenario
+
+
+@pytest.fixture(scope="module")
+def scenario_result():
+    scenario = CaseStudyScenario(
+        CaseStudyConfig(cbr_rate_bytes_per_s=0.3)
+    )
+    result = scenario.run(max_sim_time=4000.0)
+    return scenario, result
+
+
+def test_fig7_topology_end_to_end(benchmark, scenario_result, report):
+    benchmark.pedantic(
+        lambda: CaseStudyScenario(CaseStudyConfig()).run(max_sim_time=4000.0),
+        rounds=2, iterations=1,
+    )
+    scenario, result = scenario_result
+    table = Table(
+        ["quantity", "value"],
+        title="Figure 7 (reproduced): case-study run, CBR 0.3 B/s, 1-wire",
+    )
+    table.add_row("write+take completion", f"{result.elapsed_seconds:.1f} s")
+    table.add_row("write acknowledged at", f"{result.write_ack_seconds:.1f} s")
+    table.add_row("bus TX frames", result.bus_tx_frames)
+    table.add_row("bus utilization", f"{result.bus_utilization:.2f}")
+    table.add_row("CBR bytes delivered", result.cbr_bytes_delivered)
+    table.add_row("server requests", scenario.server.requests_handled)
+    report("fig7_case_study", table.render())
+
+    assert result.completed
+    # Both phases crossed the bus.
+    assert 0 < result.write_ack_seconds < result.elapsed_seconds
+    # The CBR stream flowed concurrently with the space traffic.
+    assert result.cbr_bytes_delivered >= 30
+    # The server saw exactly the write and the take.
+    assert scenario.server.requests_handled == 2
+    # The relay keeps the line busy for the whole run.
+    assert result.bus_utilization > 0.9
+
+
+def test_fig7_client_server_symmetry(scenario_result, benchmark):
+    """Bytes the client pushed match what the server host received."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    scenario, _result = scenario_result
+    assert scenario.server_host.bytes_received == (
+        scenario.client_bridge.forwarded_bytes
+    )
+    assert scenario.server_host.bytes_sent == (
+        scenario.client_bridge.delivered_bytes
+    )

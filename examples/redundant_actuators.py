@@ -1,0 +1,68 @@
+"""Figure 1: redundant actuators with tuplespace failover.
+
+Reproduces the paper's four-step fault-tolerance protocol (Sec. 2.1):
+
+1. the control agent writes a start tuple and waits for its removal;
+2. the actuator agents race to take it — exactly one becomes operating,
+   the rest become backups;
+3. the operating actuator writes a state tuple every tick;
+4. each backup takes its upstream heartbeat every tick; a failed take
+   triggers the recovery procedure.
+
+A failure is injected into the operating actuator at t = 10 s; watch the
+backup promote itself about one tick later.
+
+Run:  python examples/redundant_actuators.py
+"""
+
+from repro.core import SimClock, TupleSpace
+from repro.core.agents import ActuatorAgent, ControlAgent
+from repro.des import Simulator
+
+GROUP = "conveyor-drive"
+TICK = 1.0
+FAIL_AT = 10.0
+N_ACTUATORS = 3
+
+
+def main():
+    sim = Simulator(seed=1)
+    space = TupleSpace(clock=SimClock(sim), name="factory-space")
+
+    control = ControlAgent(sim, space, group=GROUP)
+    actuators = [
+        ActuatorAgent(
+            sim, space, group=GROUP, rank=i, tick=TICK,
+            fail_at=FAIL_AT if i == 0 else None,
+        )
+        for i in range(N_ACTUATORS)
+    ]
+    control.start()
+    for actuator in actuators:
+        actuator.start()
+
+    sim.run(until=25.0)
+
+    print(f"control loop started at t={control.control_started_at:.2f}s "
+          "(start tuple was taken)\n")
+    print("actuator role timelines:")
+    for actuator in actuators:
+        timeline = " -> ".join(
+            f"{role}@{t:.2f}s" for t, role in actuator.history
+        )
+        status = "FAILED" if actuator.failed else "alive"
+        print(f"  {actuator.name:24s} [{status:6s}] {timeline} "
+              f"(ticks executed: {actuator.ticks_executed})")
+
+    operating = [a for a in actuators if not a.failed
+                 and a.state == ActuatorAgent.OPERATING]
+    assert len(operating) == 1, "exactly one live actuator must operate"
+    promoted = operating[0]
+    promotion_time = promoted.history[-1][0]
+    print(f"\nfailure injected at t={FAIL_AT}s; {promoted.name} recovered "
+          f"the actuator program at t={promotion_time:.2f}s "
+          f"({promotion_time - FAIL_AT:.2f}s of outage).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Command-line front end: regenerate the paper's results.
+
+Usage::
+
+    python -m repro table3              # NS2-TpWIRE validation + factor
+    python -m repro table4 [--quick]    # the tuplespace impact table
+    python -m repro fullstack           # methodology validation
+    python -m repro all [--quick]       # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import Table
+from repro.cosim import (
+    CaseStudyConfig,
+    CaseStudyScenario,
+    derive_scaling_factor,
+    run_validation_suite,
+)
+
+
+def cmd_table3(args) -> int:
+    workloads = [5, 15] if args.quick else [5, 15, 30]
+    print("Table 3 — Validation NS2-TpWIRE "
+          "(hw = bit-level PHY, ns2 = packet-level model)")
+    points = run_validation_suite(workloads)
+    table = Table(["packets", "frames hw/ns2", "hw s", "ns2 s", "error"])
+    for point in points:
+        table.add_row(
+            point.n_packets,
+            f"{point.reference.total_frames}/{point.model.total_frames}",
+            point.reference_seconds,
+            point.model_seconds,
+            f"{point.timing_error:.2%}",
+        )
+    print(table.render())
+    print(f"scaling factor (hw/ns2): {derive_scaling_factor(points):.4f}")
+    return 0
+
+
+def cmd_table4(args) -> int:
+    rates = [0.0, 1.0] if args.quick else [0.0, 0.3, 1.0]
+    wire_counts = [1] if args.quick else [1, 2]
+    print("Table 4 — tuplespace write+take over TpWIRE (lease 160 s)")
+    table = Table(["CBR"] + [f"{w}-wire" for w in wire_counts])
+    cells = {}
+    for wires in wire_counts:
+        for cbr in rates:
+            config = CaseStudyConfig(wires=wires, cbr_rate_bytes_per_s=cbr)
+            cells[(wires, cbr)] = CaseStudyScenario(config).run(
+                max_sim_time=4000.0
+            )
+    for cbr in rates:
+        table.add_row(
+            f"{cbr} B/s",
+            *[cells[(w, cbr)].cell() for w in wire_counts],
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_fullstack(args) -> int:
+    print("Methodology validation — micro scaling factor vs full stack")
+    factor = derive_scaling_factor(run_validation_suite([5, 15]))
+    bit = CaseStudyScenario(
+        CaseStudyConfig(bit_level=True)
+    ).run(max_sim_time=4000.0)
+    packet = CaseStudyScenario(CaseStudyConfig()).run(max_sim_time=4000.0)
+    ratio = bit.elapsed_seconds / packet.elapsed_seconds
+    table = Table(["quantity", "value"])
+    table.add_row("Table 3 scaling factor", f"{factor:.4f}")
+    table.add_row("bit-level full stack", f"{bit.elapsed_seconds:.1f} s")
+    table.add_row("packet-level full stack", f"{packet.elapsed_seconds:.1f} s")
+    table.add_row("full-stack ratio", f"{ratio:.4f}")
+    table.add_row("prediction error", f"{abs(ratio - factor):.4f}")
+    print(table.render())
+    return 0
+
+
+def cmd_all(args) -> int:
+    for command in (cmd_table3, cmd_table4, cmd_fullstack):
+        command(args)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the results of 'Estimation of Bus "
+                    "Performance for a Tuplespace in an Embedded "
+                    "Architecture' (DATE 2003).",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads (seconds instead of minutes)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table3", parents=[common],
+                   help="NS2-TpWIRE validation (Table 3)")
+    sub.add_parser("table4", parents=[common],
+                   help="tuplespace impact (Table 4)")
+    sub.add_parser("fullstack", parents=[common],
+                   help="methodology validation")
+    sub.add_parser("all", parents=[common], help="everything above")
+    return parser
+
+
+_COMMANDS = {
+    "table3": cmd_table3,
+    "table4": cmd_table4,
+    "fullstack": cmd_fullstack,
+    "all": cmd_all,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""ASCII activity timelines from trace records.
+
+NS-2 users post-process trace files; the analog here renders the bus's
+frame activity as a density strip so a run can be eyeballed without
+plotting::
+
+    0.0s |#########=======:::...   ...:::=====#########| 120.0s
+          ^ write request           ^ take + response
+
+Density characters scale from ``.`` (sparse) to ``@`` (busiest bucket).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional, Sequence
+
+from repro.des.trace import TraceRecord
+
+#: Density ramp, sparse to dense.
+RAMP = " .:-=+*#%@"
+
+
+def bucket_counts(
+    records: Sequence[TraceRecord],
+    start: float,
+    end: float,
+    buckets: int = 60,
+    kinds: Optional[Iterable[str]] = None,
+) -> list[int]:
+    """Event counts per equal-width time bucket over ``[start, end)``."""
+    if end <= start:
+        raise ValueError(f"need end > start, got [{start}, {end})")
+    if buckets < 1:
+        raise ValueError(f"need at least one bucket, got {buckets}")
+    wanted = set(kinds) if kinds is not None else None
+    counts = [0] * buckets
+    width = (end - start) / buckets
+    for record in records:
+        if wanted is not None and record.kind not in wanted:
+            continue
+        if not start <= record.time < end:
+            continue
+        index = int((record.time - start) / width)
+        counts[min(index, buckets - 1)] += 1
+    return counts
+
+
+def render_strip(counts: Sequence[int]) -> str:
+    """Map bucket counts onto the density ramp."""
+    peak = max(counts) if counts else 0
+    if peak == 0:
+        return " " * len(counts)
+    out = []
+    for count in counts:
+        level = 0 if count == 0 else 1 + int(
+            (count / peak) * (len(RAMP) - 2)
+        )
+        out.append(RAMP[min(level, len(RAMP) - 1)])
+    return "".join(out)
+
+
+def activity_timeline(
+    records: Sequence[TraceRecord],
+    start: float,
+    end: float,
+    buckets: int = 60,
+    kinds: Optional[Iterable[str]] = None,
+    label: str = "",
+) -> str:
+    """One labelled density strip."""
+    strip = render_strip(bucket_counts(records, start, end, buckets, kinds))
+    prefix = f"{label} " if label else ""
+    return f"{prefix}{start:g}s |{strip}| {end:g}s"
+
+
+def event_summary(records: Sequence[TraceRecord]) -> dict:
+    """Counts by ``(code, kind)`` plus totals, for quick sanity checks."""
+    by_pair: Counter = Counter()
+    for record in records:
+        by_pair[(record.code, record.kind)] += 1
+    return {
+        "total": len(records),
+        "by_code_kind": dict(by_pair),
+        "first_time": records[0].time if records else None,
+        "last_time": records[-1].time if records else None,
+    }

@@ -1,0 +1,126 @@
+"""Assembler for the stack machine.
+
+Syntax (one instruction per line)::
+
+    ; comments start with ; or #
+    start:              ; labels end with :
+        PUSH 42
+        CALL send_byte
+        JMP start
+    send_byte:
+        OUT 1
+        RET
+
+Operands may be decimal, hex (0x...), a label, or ``label+offset``.
+``.byte`` directives emit raw data (useful for embedded message buffers)::
+
+    message: .byte 0x54 0x53 0x01
+"""
+
+from __future__ import annotations
+
+from repro.board.cpu import INSTRUCTION_SIZE, Op, encode_program
+
+
+class AssemblerError(Exception):
+    """Bad mnemonic, unknown label or malformed line."""
+
+
+#: Opcodes that take no operand in source form.
+_NO_OPERAND = {
+    Op.NOP, Op.HALT, Op.DROP, Op.DUP, Op.SWAP, Op.ADD, Op.SUB, Op.MUL,
+    Op.DIVMOD, Op.AND, Op.OR, Op.XOR, Op.NOT, Op.LT, Op.EQ, Op.RET,
+    Op.LOADI, Op.STOREI, Op.INC, Op.DEC,
+}
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def assemble(source: str, origin: int = 0) -> tuple[bytes, dict[str, int]]:
+    """Assemble ``source``; returns ``(blob, symbol_table)``.
+
+    Addresses in the symbol table are absolute (``origin`` + offset).
+    """
+    # Pass 1: lay out instructions/data, record label addresses.
+    items: list[tuple[str, object]] = []   # ("insn", (mnemonic, operand_text)) | ("data", bytes)
+    labels: dict[str, int] = {}
+    address = origin
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = address
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        if mnemonic == ".BYTE":
+            data = bytes(_parse_number(tok, lineno) & 0xFF for tok in parts[1:])
+            if not data:
+                raise AssemblerError(f"line {lineno}: .byte needs values")
+            items.append(("data", data))
+            address += len(data)
+            continue
+        try:
+            op = Op[mnemonic]
+        except KeyError:
+            raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+        if op in _NO_OPERAND:
+            if len(parts) > 1:
+                raise AssemblerError(
+                    f"line {lineno}: {mnemonic} takes no operand"
+                )
+            operand_text = "0"
+        else:
+            if len(parts) != 2:
+                raise AssemblerError(
+                    f"line {lineno}: {mnemonic} needs exactly one operand"
+                )
+            operand_text = parts[1]
+        items.append(("insn", (op, operand_text, lineno)))
+        address += INSTRUCTION_SIZE
+
+    # Pass 2: resolve operands.
+    blob = bytearray()
+    for kind, payload in items:
+        if kind == "data":
+            blob.extend(payload)
+            continue
+        op, operand_text, lineno = payload
+        operand = _resolve(operand_text, labels, lineno)
+        blob.extend(encode_program([(op, operand)]))
+    return bytes(blob), labels
+
+
+def _parse_number(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: bad number {token!r}")
+
+
+def _resolve(token: str, labels: dict[str, int], lineno: int) -> int:
+    base = token
+    offset = 0
+    if "+" in token:
+        base, _, tail = token.partition("+")
+        offset = _parse_number(tail, lineno)
+    if base in labels:
+        return labels[base] + offset
+    if offset:
+        raise AssemblerError(f"line {lineno}: unknown label {base!r}")
+    return _parse_number(token, lineno)

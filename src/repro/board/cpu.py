@@ -1,0 +1,287 @@
+"""A deterministic stack-machine instruction-set simulator.
+
+Small by design — the paper's co-simulation needs a *client program
+running under an ISS*, not a particular architecture.  The machine:
+
+* byte-addressable memory (default 64 KiB), 32-bit words, little-endian;
+* an operand stack and a call stack (both bounded);
+* I/O ports with pluggable read/write handlers — the Theseus board maps
+  its communication channels onto ports;
+* a cycle counter, so the board can be clocked in simulated time.
+
+Instructions are ``(opcode, operand)`` pairs stored in program memory as
+5 bytes each (1 opcode + 4 operand).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Callable, Optional
+
+
+class CpuError(Exception):
+    """Illegal instruction, stack fault or memory fault."""
+
+
+class Op(enum.IntEnum):
+    NOP = 0x00
+    HALT = 0x01
+    PUSH = 0x02   #: push immediate
+    DROP = 0x03
+    DUP = 0x04
+    SWAP = 0x05
+    ADD = 0x06
+    SUB = 0x07
+    MUL = 0x08
+    DIVMOD = 0x09  #: pops b,a; pushes a//b then a%b
+    AND = 0x0A
+    OR = 0x0B
+    XOR = 0x0C
+    NOT = 0x0D
+    LT = 0x0E     #: pops b,a; pushes 1 if a<b else 0
+    EQ = 0x0F
+    LOAD = 0x10   #: push mem[operand] (byte)
+    STORE = 0x11  #: mem[operand] = pop() & 0xFF
+    LOADI = 0x12  #: addr=pop(); push mem[addr] (byte, indirect)
+    STOREI = 0x13 #: addr=pop(); mem[addr] = pop() & 0xFF
+    LOADW = 0x14  #: push 32-bit word at mem[operand]
+    STOREW = 0x15 #: store 32-bit word at mem[operand]
+    JMP = 0x16    #: pc = operand
+    JZ = 0x17     #: if pop()==0: pc = operand
+    JNZ = 0x18
+    CALL = 0x19
+    RET = 0x1A
+    IN = 0x1B     #: push io_read(operand); -1 when nothing available
+    OUT = 0x1C    #: io_write(operand, pop())
+    INC = 0x1D
+    DEC = 0x1E
+
+
+#: Bytes per encoded instruction.
+INSTRUCTION_SIZE = 5
+
+_WORD = struct.Struct("<i")
+
+
+def encode_program(program: list[tuple[int, int]]) -> bytes:
+    """Encode ``(opcode, operand)`` pairs into loadable bytes."""
+    blob = bytearray()
+    for opcode, operand in program:
+        blob.append(int(opcode) & 0xFF)
+        blob.extend(_WORD.pack(operand))
+    return bytes(blob)
+
+
+class StackCpu:
+    """The interpreter."""
+
+    STACK_LIMIT = 1024
+    CALL_LIMIT = 256
+
+    def __init__(self, memory_size: int = 65536):
+        if memory_size < INSTRUCTION_SIZE:
+            raise CpuError("memory too small")
+        self.memory = bytearray(memory_size)
+        self.stack: list[int] = []
+        self.calls: list[int] = []
+        self.pc = 0
+        self.halted = False
+        self.cycles = 0
+        self._io_read: dict[int, Callable[[], int]] = {}
+        self._io_write: dict[int, Callable[[int], None]] = {}
+
+    # -- setup ----------------------------------------------------------------
+
+    def load(self, blob: bytes, at: int = 0) -> None:
+        if at + len(blob) > len(self.memory):
+            raise CpuError("program does not fit in memory")
+        self.memory[at : at + len(blob)] = blob
+
+    def load_program(self, program: list[tuple[int, int]], at: int = 0) -> None:
+        self.load(encode_program(program), at)
+
+    def map_port(
+        self,
+        port: int,
+        read: Optional[Callable[[], int]] = None,
+        write: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if read is not None:
+            self._io_read[port] = read
+        if write is not None:
+            self._io_write[port] = write
+
+    def reset(self) -> None:
+        self.stack.clear()
+        self.calls.clear()
+        self.pc = 0
+        self.halted = False
+
+    # -- stack helpers ----------------------------------------------------------
+
+    def _push(self, value: int) -> None:
+        if len(self.stack) >= self.STACK_LIMIT:
+            raise CpuError(f"stack overflow at pc={self.pc}")
+        self.stack.append(int(value))
+
+    def _pop(self) -> int:
+        if not self.stack:
+            raise CpuError(f"stack underflow at pc={self.pc}")
+        return self.stack.pop()
+
+    # -- execution ----------------------------------------------------------------
+
+    def fetch(self) -> tuple[Op, int]:
+        end = self.pc + INSTRUCTION_SIZE
+        if end > len(self.memory):
+            raise CpuError(f"pc {self.pc:#x} outside memory")
+        opcode = self.memory[self.pc]
+        (operand,) = _WORD.unpack(self.memory[self.pc + 1 : end])
+        try:
+            return Op(opcode), operand
+        except ValueError:
+            raise CpuError(f"illegal opcode {opcode:#04x} at pc={self.pc:#x}")
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            return
+        op, operand = self.fetch()
+        next_pc = self.pc + INSTRUCTION_SIZE
+        self.cycles += 1
+
+        if op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            self.halted = True
+        elif op is Op.PUSH:
+            self._push(operand)
+        elif op is Op.DROP:
+            self._pop()
+        elif op is Op.DUP:
+            value = self._pop()
+            self._push(value)
+            self._push(value)
+        elif op is Op.SWAP:
+            b, a = self._pop(), self._pop()
+            self._push(b)
+            self._push(a)
+        elif op is Op.ADD:
+            b, a = self._pop(), self._pop()
+            self._push(a + b)
+        elif op is Op.SUB:
+            b, a = self._pop(), self._pop()
+            self._push(a - b)
+        elif op is Op.MUL:
+            b, a = self._pop(), self._pop()
+            self._push(a * b)
+        elif op is Op.DIVMOD:
+            b, a = self._pop(), self._pop()
+            if b == 0:
+                raise CpuError(f"division by zero at pc={self.pc}")
+            self._push(a // b)
+            self._push(a % b)
+        elif op is Op.AND:
+            b, a = self._pop(), self._pop()
+            self._push(a & b)
+        elif op is Op.OR:
+            b, a = self._pop(), self._pop()
+            self._push(a | b)
+        elif op is Op.XOR:
+            b, a = self._pop(), self._pop()
+            self._push(a ^ b)
+        elif op is Op.NOT:
+            self._push(~self._pop())
+        elif op is Op.LT:
+            b, a = self._pop(), self._pop()
+            self._push(1 if a < b else 0)
+        elif op is Op.EQ:
+            b, a = self._pop(), self._pop()
+            self._push(1 if a == b else 0)
+        elif op is Op.LOAD:
+            self._push(self._read_byte(operand))
+        elif op is Op.STORE:
+            self._write_byte(operand, self._pop())
+        elif op is Op.LOADI:
+            self._push(self._read_byte(self._pop()))
+        elif op is Op.STOREI:
+            address = self._pop()
+            self._write_byte(address, self._pop())
+        elif op is Op.LOADW:
+            self._push(self._read_word(operand))
+        elif op is Op.STOREW:
+            self._write_word(operand, self._pop())
+        elif op is Op.JMP:
+            next_pc = operand
+        elif op is Op.JZ:
+            if self._pop() == 0:
+                next_pc = operand
+        elif op is Op.JNZ:
+            if self._pop() != 0:
+                next_pc = operand
+        elif op is Op.CALL:
+            if len(self.calls) >= self.CALL_LIMIT:
+                raise CpuError(f"call stack overflow at pc={self.pc}")
+            self.calls.append(next_pc)
+            next_pc = operand
+        elif op is Op.RET:
+            if not self.calls:
+                raise CpuError(f"return without call at pc={self.pc}")
+            next_pc = self.calls.pop()
+        elif op is Op.IN:
+            handler = self._io_read.get(operand)
+            if handler is None:
+                raise CpuError(f"no input port {operand}")
+            self._push(handler())
+        elif op is Op.OUT:
+            handler = self._io_write.get(operand)
+            if handler is None:
+                raise CpuError(f"no output port {operand}")
+            handler(self._pop() & 0xFF)
+        elif op is Op.INC:
+            self._push(self._pop() + 1)
+        elif op is Op.DEC:
+            self._push(self._pop() - 1)
+        else:  # pragma: no cover - enum is exhaustive
+            raise CpuError(f"unhandled opcode {op!r}")
+
+        self.pc = next_pc
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until HALT or ``max_steps``; returns steps executed."""
+        executed = 0
+        while not self.halted and executed < max_steps:
+            self.step()
+            executed += 1
+        return executed
+
+    # -- memory access ---------------------------------------------------------------
+
+    def _read_byte(self, address: int) -> int:
+        if not 0 <= address < len(self.memory):
+            raise CpuError(f"memory read at {address:#x} out of range")
+        return self.memory[address]
+
+    def _write_byte(self, address: int, value: int) -> None:
+        if not 0 <= address < len(self.memory):
+            raise CpuError(f"memory write at {address:#x} out of range")
+        self.memory[address] = value & 0xFF
+
+    def _read_word(self, address: int) -> int:
+        if not 0 <= address <= len(self.memory) - 4:
+            raise CpuError(f"word read at {address:#x} out of range")
+        (value,) = _WORD.unpack(self.memory[address : address + 4])
+        return value
+
+    def _write_word(self, address: int, value: int) -> None:
+        if not 0 <= address <= len(self.memory) - 4:
+            raise CpuError(f"word write at {address:#x} out of range")
+        # Wrap into the signed 32-bit range the encoding supports.
+        self.memory[address : address + 4] = _WORD.pack(
+            (value + 2**31) % 2**32 - 2**31
+        )
+
+    def __repr__(self) -> str:
+        state = "halted" if self.halted else "running"
+        return f"StackCpu(pc={self.pc:#x}, {state}, cycles={self.cycles})"

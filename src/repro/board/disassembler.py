@@ -1,0 +1,93 @@
+"""Disassembler for the stack machine.
+
+Completes the toolchain: the gdb-side of a co-simulation can read program
+memory over the RSP stub and render it as the assembly the firmware was
+written in — the listing view a debugger front-end shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.board.assembler import _NO_OPERAND
+from repro.board.cpu import INSTRUCTION_SIZE, Op, _WORD
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    address: int
+    op: Op
+    operand: int
+
+    def format(self, labels: dict[int, str] | None = None) -> str:
+        mnemonic = self.op.name
+        if self.op in _NO_OPERAND:
+            text = mnemonic
+        elif labels and self.operand in labels:
+            text = f"{mnemonic} {labels[self.operand]}"
+        else:
+            text = f"{mnemonic} {self.operand}"
+        return f"{self.address:#06x}: {text}"
+
+
+def decode_one(memory: bytes, address: int) -> Instruction:
+    """Decode the instruction at ``address``; raises on illegal opcodes."""
+    end = address + INSTRUCTION_SIZE
+    if address < 0 or end > len(memory):
+        raise ValueError(f"address {address:#x} outside memory")
+    opcode = memory[address]
+    (operand,) = _WORD.unpack(memory[address + 1 : end])
+    try:
+        op = Op(opcode)
+    except ValueError:
+        raise ValueError(f"illegal opcode {opcode:#04x} at {address:#x}")
+    return Instruction(address, op, operand)
+
+
+def disassemble(
+    memory: bytes,
+    start: int = 0,
+    count: int | None = None,
+    stop_at_halt: bool = True,
+) -> list[Instruction]:
+    """Decode a linear run of instructions.
+
+    Stops at the first HALT (``stop_at_halt``), after ``count``
+    instructions, or at the first illegal opcode (data sections follow
+    code in assembled firmware images).
+    """
+    out: list[Instruction] = []
+    address = start
+    while address + INSTRUCTION_SIZE <= len(memory):
+        if count is not None and len(out) >= count:
+            break
+        try:
+            instruction = decode_one(memory, address)
+        except ValueError:
+            break
+        out.append(instruction)
+        if stop_at_halt and instruction.op is Op.HALT:
+            break
+        address += INSTRUCTION_SIZE
+    return out
+
+
+def listing(
+    memory: bytes,
+    symbols: dict[str, int] | None = None,
+    start: int = 0,
+    count: int | None = None,
+) -> str:
+    """Human-readable listing with label annotations."""
+    by_address = {}
+    if symbols:
+        by_address = {address: name for name, address in symbols.items()}
+    lines = []
+    for instruction in disassemble(memory, start, count):
+        label = by_address.get(instruction.address)
+        if label is not None:
+            lines.append(f"{label}:")
+        lines.append("    " + instruction.format(by_address))
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Canned firmware programs for the Theseus board.
+
+The paper's client is a C++ program cross-built for the board; here the
+"compiled client" is stack-machine assembly.  The interesting program is
+:func:`space_client_program` — the embedded side of one space operation:
+it streams a pre-marshalled wire-protocol request out of the comm port,
+then receives the response *by parsing the protocol header* (magic, type,
+request id, body length) to know how many bytes to expect.  That is, the
+board genuinely speaks the framing layer of
+:mod:`repro.core.protocol`.
+"""
+
+from __future__ import annotations
+
+from repro.board.assembler import assemble
+
+
+def echo_program(n_bytes: int) -> tuple[bytes, dict]:
+    """Echo ``n_bytes`` from the RX port back out of the TX port, then halt."""
+    if n_bytes < 1:
+        raise ValueError("need at least one byte to echo")
+    source = f"""
+    start:
+        PUSH 0
+        STOREW count
+    loop:
+        LOADW count
+        PUSH {n_bytes}
+        LT
+        JZ done
+    wait:
+        IN 3
+        JZ wait
+        IN 2
+        OUT 1
+        LOADW count
+        INC
+        STOREW count
+        JMP loop
+    done:
+        HALT
+    count: .byte 0 0 0 0
+    """
+    return assemble(source)
+
+
+def send_buffer_program(data: bytes) -> tuple[bytes, dict]:
+    """Stream an embedded data buffer out of the TX port, then halt."""
+    if not data:
+        raise ValueError("buffer must be non-empty")
+    byte_list = " ".join(str(b) for b in data)
+    source = f"""
+    start:
+        PUSH 0
+        STOREW idx
+    loop:
+        LOADW idx
+        PUSH {len(data)}
+        LT
+        JZ done
+        LOADW idx
+        PUSH buffer
+        ADD
+        LOADI
+        OUT 1
+        LOADW idx
+        INC
+        STOREW idx
+        JMP loop
+    done:
+        HALT
+    idx: .byte 0 0 0 0
+    buffer: .byte {byte_list}
+    """
+    return assemble(source)
+
+
+#: Size of the wire-protocol header the firmware parses (see
+#: :mod:`repro.core.protocol`): magic(2) + type(1) + request_id(4) + len(4).
+PROTOCOL_HEADER_SIZE = 11
+
+
+def space_client_program(request: bytes, max_response: int = 512) -> tuple[bytes, dict]:
+    """One space operation from the board's point of view.
+
+    Sends the pre-marshalled ``request`` bytes, then receives a complete
+    response frame: the first 11 bytes are the protocol header, whose
+    big-endian body length tells the firmware how many more bytes to
+    read.  The full response lands at symbol ``response``; the total
+    response length at symbol ``total``.
+    """
+    if not request:
+        raise ValueError("request must be non-empty")
+    if max_response < PROTOCOL_HEADER_SIZE:
+        raise ValueError("max_response smaller than a protocol header")
+    request_bytes = " ".join(str(b) for b in request)
+    response_zeros = " ".join(["0"] * max_response)
+    source = f"""
+    start:
+        PUSH 0
+        STOREW idx
+    send_loop:
+        LOADW idx
+        PUSH {len(request)}
+        LT
+        JZ recv_init
+        LOADW idx
+        PUSH request
+        ADD
+        LOADI
+        OUT 1
+        LOADW idx
+        INC
+        STOREW idx
+        JMP send_loop
+
+    recv_init:
+        PUSH 0
+        STOREW idx
+        PUSH {PROTOCOL_HEADER_SIZE}
+        STOREW total
+    recv_loop:
+        ; once the header is complete, decode the body length
+        LOADW idx
+        PUSH {PROTOCOL_HEADER_SIZE}
+        EQ
+        JZ after_header
+        CALL decode_length
+    after_header:
+        LOADW idx
+        LOADW total
+        LT
+        JZ done
+    wait:
+        IN 3
+        JZ wait
+        IN 2
+        LOADW idx
+        PUSH response
+        ADD
+        STOREI
+        LOADW idx
+        INC
+        STOREW idx
+        JMP recv_loop
+
+    decode_length:
+        ; total = header_size + big-endian length at response[7..10]
+        LOAD response+7
+        PUSH 16777216
+        MUL
+        LOAD response+8
+        PUSH 65536
+        MUL
+        ADD
+        LOAD response+9
+        PUSH 256
+        MUL
+        ADD
+        LOAD response+10
+        ADD
+        PUSH {PROTOCOL_HEADER_SIZE}
+        ADD
+        STOREW total
+        RET
+
+    done:
+        HALT
+    idx: .byte 0 0 0 0
+    total: .byte 0 0 0 0
+    request: .byte {request_bytes}
+    response: .byte {response_zeros}
+    """
+    return assemble(source)
+
+
+def checksum_program(data: bytes) -> tuple[bytes, dict]:
+    """Sum an embedded buffer into symbol ``result`` (gdb-stub demos)."""
+    if not data:
+        raise ValueError("buffer must be non-empty")
+    byte_list = " ".join(str(b) for b in data)
+    source = f"""
+    start:
+        PUSH 0
+        STOREW acc
+        PUSH 0
+        STOREW idx
+    loop:
+        LOADW idx
+        PUSH {len(data)}
+        LT
+        JZ done
+        LOADW acc
+        LOADW idx
+        PUSH buffer
+        ADD
+        LOADI
+        ADD
+        STOREW acc
+        LOADW idx
+        INC
+        STOREW idx
+        JMP loop
+    done:
+        LOADW acc
+        STOREW result
+        HALT
+    acc: .byte 0 0 0 0
+    idx: .byte 0 0 0 0
+    result: .byte 0 0 0 0
+    buffer: .byte {byte_list}
+    """
+    return assemble(source)

@@ -1,0 +1,234 @@
+"""gdb Remote-Serial-Protocol-style debug stub.
+
+Sec. 4.3: the SC1 bridge reaches the client program "through an interface
+based on the remote debugging features of gdb".  The stub reproduces RSP's
+observable protocol — ``$<data>#<checksum>`` packet framing, '+'/'-'
+acknowledgements, hex payloads — over any byte transport, against the
+stack-machine ISS.
+
+Supported commands (the subset a co-simulation driver needs):
+
+=============  =========================================================
+``?``          halt reason (``S05``)
+``g``          read registers: pc, stack depth, top-of-stack, cycles
+``m a,l``      read ``l`` memory bytes at ``a`` (hex)
+``M a,l:...``  write memory
+``s``          single step; replies ``S05``
+``c``          continue until HALT (bounded); replies ``S05`` / ``W00``
+``qC``/``qSupported``  identification queries
+=============  =========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.board.cpu import StackCpu
+
+
+class RspError(Exception):
+    """Malformed RSP packet or checksum failure."""
+
+
+def _checksum(data: bytes) -> int:
+    return sum(data) % 256
+
+
+def rsp_encode(payload: bytes) -> bytes:
+    """Wrap a payload in RSP framing: ``$<payload>#<checksum>``."""
+    return b"$" + payload + b"#" + f"{_checksum(payload):02x}".encode()
+
+
+def rsp_decode(packet: bytes) -> bytes:
+    """Unwrap and checksum-verify one framed packet."""
+    if not packet.startswith(b"$"):
+        raise RspError(f"packet does not start with $: {packet[:8]!r}")
+    hash_index = packet.rfind(b"#")
+    if hash_index < 0 or len(packet) < hash_index + 3:
+        raise RspError("packet has no checksum")
+    payload = packet[1:hash_index]
+    try:
+        declared = int(packet[hash_index + 1 : hash_index + 3], 16)
+    except ValueError:
+        raise RspError("bad checksum digits")
+    if declared != _checksum(payload):
+        raise RspError(
+            f"checksum mismatch: declared {declared:02x}, "
+            f"actual {_checksum(payload):02x}"
+        )
+    return payload
+
+
+class PacketReader:
+    """Incremental splitter of an RSP byte stream into packets and acks."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Returns complete items: b"+" / b"-" acks and framed packets."""
+        self._buffer.extend(data)
+        items = []
+        while self._buffer:
+            head = self._buffer[0:1]
+            if head in (b"+", b"-"):
+                items.append(bytes(head))
+                del self._buffer[0]
+                continue
+            if head != b"$":
+                # Resynchronise: drop noise before the next frame start.
+                del self._buffer[0]
+                continue
+            hash_index = self._buffer.find(b"#")
+            if hash_index < 0 or len(self._buffer) < hash_index + 3:
+                break
+            items.append(bytes(self._buffer[: hash_index + 3]))
+            del self._buffer[: hash_index + 3]
+        return items
+
+
+class GdbStub:
+    """Server side: executes RSP commands against a CPU.
+
+    ``handle_packet(payload) -> reply payload`` is transport-independent;
+    :meth:`feed` adapts a byte stream (returning the bytes to send back,
+    acks included).
+    """
+
+    #: Upper bound on instructions executed by one ``c`` command.
+    CONTINUE_BUDGET = 1_000_000
+
+    def __init__(self, cpu: StackCpu):
+        self.cpu = cpu
+        self._reader = PacketReader()
+        self.packets_handled = 0
+
+    # -- byte-stream adapter ---------------------------------------------------
+
+    def feed(self, data: bytes) -> bytes:
+        out = bytearray()
+        for item in self._reader.feed(data):
+            if item in (b"+", b"-"):
+                continue  # we do not retransmit; acks are informational
+            try:
+                payload = rsp_decode(item)
+            except RspError:
+                out.extend(b"-")
+                continue
+            out.extend(b"+")
+            reply = self.handle_packet(payload)
+            out.extend(rsp_encode(reply))
+        return bytes(out)
+
+    # -- command dispatch ----------------------------------------------------------
+
+    def handle_packet(self, payload: bytes) -> bytes:
+        self.packets_handled += 1
+        if not payload:
+            return b""
+        command = payload[0:1]
+        rest = payload[1:]
+        if command == b"?":
+            return b"S05"
+        if command == b"g":
+            return self._read_registers()
+        if command == b"m":
+            return self._read_memory(rest)
+        if command == b"M":
+            return self._write_memory(rest)
+        if command == b"s":
+            self.cpu.step()
+            return b"S05"
+        if command == b"c":
+            return self._continue()
+        if payload.startswith(b"qSupported"):
+            return b"PacketSize=4096"
+        if payload == b"qC":
+            return b"QC01"
+        return b""  # unsupported -> empty reply, per RSP
+
+    def _read_registers(self) -> bytes:
+        cpu = self.cpu
+        top = cpu.stack[-1] if cpu.stack else 0
+        registers = [cpu.pc, len(cpu.stack), top & 0xFFFFFFFF, cpu.cycles]
+        return "".join(f"{value % (1 << 32):08x}" for value in registers).encode()
+
+    def _read_memory(self, args: bytes) -> bytes:
+        try:
+            address_text, length_text = args.split(b",")
+            address = int(address_text, 16)
+            length = int(length_text, 16)
+        except ValueError:
+            return b"E01"
+        if address < 0 or address + length > len(self.cpu.memory):
+            return b"E02"
+        return self.cpu.memory[address : address + length].hex().encode()
+
+    def _write_memory(self, args: bytes) -> bytes:
+        try:
+            location, data_text = args.split(b":")
+            address_text, length_text = location.split(b",")
+            address = int(address_text, 16)
+            length = int(length_text, 16)
+            data = bytes.fromhex(data_text.decode())
+        except ValueError:
+            return b"E01"
+        if len(data) != length:
+            return b"E03"
+        if address < 0 or address + length > len(self.cpu.memory):
+            return b"E02"
+        self.cpu.memory[address : address + length] = data
+        return b"OK"
+
+    def _continue(self) -> bytes:
+        executed = self.cpu.run(max_steps=self.CONTINUE_BUDGET)
+        if self.cpu.halted:
+            return b"W00"  # exited
+        if executed >= self.CONTINUE_BUDGET:
+            return b"S02"  # interrupted (budget)
+        return b"S05"
+
+
+class GdbClient:
+    """Client side: issues RSP commands to a stub over direct calls.
+
+    Models the SC1 side of the paper's gdb link; a byte-transport variant
+    simply routes :meth:`GdbStub.feed` through a channel.
+    """
+
+    def __init__(self, stub: GdbStub):
+        self.stub = stub
+
+    def _command(self, payload: bytes) -> bytes:
+        return self.stub.handle_packet(payload)
+
+    def halt_reason(self) -> bytes:
+        return self._command(b"?")
+
+    def read_registers(self) -> dict:
+        raw = self._command(b"g").decode()
+        values = [int(raw[i : i + 8], 16) for i in range(0, len(raw), 8)]
+        return {
+            "pc": values[0],
+            "stack_depth": values[1],
+            "top": values[2],
+            "cycles": values[3],
+        }
+
+    def read_memory(self, address: int, length: int) -> bytes:
+        reply = self._command(f"m{address:x},{length:x}".encode())
+        if reply.startswith(b"E"):
+            raise RspError(f"memory read failed: {reply.decode()}")
+        return bytes.fromhex(reply.decode())
+
+    def write_memory(self, address: int, data: bytes) -> None:
+        packet = f"M{address:x},{len(data):x}:".encode() + data.hex().encode()
+        reply = self._command(packet)
+        if reply != b"OK":
+            raise RspError(f"memory write failed: {reply.decode()}")
+
+    def step(self) -> bytes:
+        return self._command(b"s")
+
+    def cont(self) -> bytes:
+        return self._command(b"c")

@@ -1,0 +1,115 @@
+"""The Theseus board: CPU + clock + communication ports.
+
+Wires the stack-machine ISS into the discrete-event world: the CPU
+executes ``instructions_per_second`` in simulated time (stepped in
+batches), and its I/O ports connect to the SC1 bridge's shared-memory
+channels:
+
+=====  ==============================================================
+port   function
+=====  ==============================================================
+0      console: bytes written accumulate in :attr:`console_output`
+1      comm TX: byte towards the bus (SC1 ``to_bus`` channel)
+2      comm RX: next byte from the bus, or -1 when none is pending
+3      comm RX available count
+=====  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.board.cpu import StackCpu
+from repro.board.gdb_stub import GdbStub
+
+
+class TheseusBoard:
+    """A board running firmware under simulated time."""
+
+    CONSOLE_PORT = 0
+    TX_PORT = 1
+    RX_PORT = 2
+    RX_AVAIL_PORT = 3
+
+    def __init__(
+        self,
+        sim,
+        instructions_per_second: float = 100_000.0,
+        batch_size: int = 200,
+        memory_size: int = 65536,
+        name: str = "theseus",
+    ):
+        if instructions_per_second <= 0:
+            raise ValueError("instruction rate must be positive")
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        self.sim = sim
+        self.ips = instructions_per_second
+        self.batch_size = batch_size
+        self.name = name
+        self.cpu = StackCpu(memory_size)
+        self.stub = GdbStub(self.cpu)
+        self.console_output = bytearray()
+        self._rx_buffer = bytearray()
+        self._tx_channel = None
+        self._process = None
+        self.cpu.map_port(self.CONSOLE_PORT, write=self._console_write)
+        self.cpu.map_port(self.TX_PORT, write=self._tx_write)
+        self.cpu.map_port(self.RX_PORT, read=self._rx_read)
+        self.cpu.map_port(self.RX_AVAIL_PORT, read=self._rx_avail)
+
+    # -- communication wiring ------------------------------------------------
+
+    def connect_bridge(self, bridge) -> None:
+        """Wire ports 1/2 to a :class:`~repro.hw.bridge.ClientBridge`."""
+        self._tx_channel = bridge.to_bus
+        bridge.from_bus  # noqa: B018 - assert the attribute exists early
+        self._rx_source = bridge.from_bus
+        self._rx_pump = self.sim.spawn(self._pump_rx(), name=f"{self.name}.rx")
+
+    def _pump_rx(self) -> Generator:
+        while True:
+            yield self._rx_source.wait_readable()
+            self._rx_buffer.extend(self._rx_source.read())
+
+    def _console_write(self, value: int) -> None:
+        self.console_output.append(value)
+
+    def _tx_write(self, value: int) -> None:
+        if self._tx_channel is None:
+            raise RuntimeError(f"{self.name}: TX port used before connect_bridge")
+        self._tx_channel.write(bytes([value]))
+
+    def _rx_read(self) -> int:
+        if not self._rx_buffer:
+            return -1
+        value = self._rx_buffer[0]
+        del self._rx_buffer[0]
+        return value
+
+    def _rx_avail(self) -> int:
+        return len(self._rx_buffer)
+
+    # -- firmware loading / execution ---------------------------------------------
+
+    def load_firmware(self, blob: bytes, at: int = 0) -> None:
+        self.cpu.load(blob, at)
+
+    def start(self):
+        """Run the CPU under simulated time until it halts."""
+        if self._process is None:
+            self._process = self.sim.spawn(self._run(), name=f"{self.name}.cpu")
+        return self._process
+
+    def _run(self) -> Generator:
+        batch_time = self.batch_size / self.ips
+        while not self.cpu.halted:
+            for _ in range(self.batch_size):
+                if self.cpu.halted:
+                    break
+                self.cpu.step()
+            yield self.sim.timeout(batch_time)
+
+    @property
+    def halted(self) -> bool:
+        return self.cpu.halted

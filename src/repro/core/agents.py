@@ -1,0 +1,296 @@
+"""Factory-automation agents over the tuplespace.
+
+Two of the paper's motivating patterns (Sec. 2.1), as runnable agents:
+
+* **Fault tolerance** (Figure 1): a :class:`ControlAgent` and a set of
+  redundant :class:`ActuatorAgent` devices follow the paper's four-step
+  failover protocol — a start tuple taken by exactly one actuator, a state
+  tuple heartbeat per tick, and backups that promote themselves when the
+  heartbeat disappears.
+* **Scalability / offload**: :class:`ProducerAgent` devices without FPU
+  support post FFT work tuples; :class:`ConsumerAgent` devices with FPU
+  support take, compute and answer.  Throughput scales with the number of
+  consumers, which the ablation benchmark measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.core.simops import space_read, space_take
+from repro.core.space import TupleSpace
+from repro.core.tuples import ANY, LindaTuple, TupleTemplate
+
+
+class SpaceAgent:
+    """Base class: an agent bound to a simulator and a space."""
+
+    def __init__(self, sim, space: TupleSpace, name: str = ""):
+        self.sim = sim
+        self.space = space
+        self.name = name or type(self).__name__
+        self.process = None
+
+    def start(self):
+        if self.process is not None:
+            return self.process
+        self.process = self.sim.spawn(self.run(), name=self.name)
+        return self.process
+
+    def run(self):
+        raise NotImplementedError
+        yield  # pragma: no cover - makes run() a generator in subclasses
+
+    def take(self, template, timeout: Optional[float] = None):
+        return space_take(self.sim, self.space, template, timeout)
+
+    def read(self, template, timeout: Optional[float] = None):
+        return space_read(self.sim, self.space, template, timeout)
+
+
+# -- Figure 1: redundant actuators ------------------------------------------
+
+def start_tuple(group: str) -> LindaTuple:
+    return LindaTuple("actuator-start", group)
+
+def start_template(group: str) -> TupleTemplate:
+    return TupleTemplate("actuator-start", group)
+
+def state_tuple(group: str, tick: int) -> LindaTuple:
+    return LindaTuple("actuator-state", group, tick, "operating OK")
+
+def state_template(group: str) -> TupleTemplate:
+    return TupleTemplate("actuator-state", group, int, str)
+
+def alive_tuple(group: str, position: int, tick: int) -> LindaTuple:
+    return LindaTuple("actuator-alive", group, position, tick)
+
+def alive_template(group: str, position: int) -> TupleTemplate:
+    return TupleTemplate("actuator-alive", group, position, int)
+
+
+class ControlAgent(SpaceAgent):
+    """Step 1 of the protocol: requests an actuator and waits for pickup."""
+
+    def __init__(self, sim, space, group: str, poll_interval: float = 0.1, name: str = ""):
+        super().__init__(sim, space, name or f"control.{group}")
+        self.group = group
+        self.poll_interval = poll_interval
+        self.control_started_at: Optional[float] = None
+
+    def run(self):
+        self.space.write(start_tuple(self.group))
+        # "It waits to start the control loop until the tuple is removed
+        # from space."
+        template = start_template(self.group)
+        while self.space.read_if_exists(template) is not None:
+            yield self.sim.timeout(self.poll_interval)
+        self.control_started_at = self.sim.now
+
+
+class ActuatorAgent(SpaceAgent):
+    """Steps 2-4: claim the start tuple, heartbeat, or shadow and recover.
+
+    The paper's protocol is a redundant *pair*: the operating actuator
+    writes a state tuple every tick and its backup takes it, promoting
+    itself when the take fails.  This agent generalises the pair to a
+    *chain* of ``rank``-ordered backups: the operating actuator (chain
+    position 0) writes the state tuple; every backup at position ``i``
+    writes its own alive tuple and takes the heartbeat of position
+    ``i - 1`` each tick.  A missed take shifts the backup one position up
+    — so the death of any member, including the operating one, cascades
+    cleanly and exactly one backup ends up operating.
+
+    ``fail_at`` injects a failure: the agent stops dead at that time.
+    """
+
+    OPERATING = "operating"
+    BACKUP = "backup"
+
+    def __init__(
+        self,
+        sim,
+        space,
+        group: str,
+        rank: int = 0,
+        tick: float = 1.0,
+        fail_at: Optional[float] = None,
+        name: str = "",
+    ):
+        super().__init__(sim, space, name or f"actuator.{group}.{rank}")
+        self.group = group
+        self.rank = rank
+        self.tick = tick
+        self.fail_at = fail_at
+        self.state: Optional[str] = None
+        self.position: Optional[int] = None
+        self.history: list[tuple[float, str]] = []
+        self.ticks_executed = 0
+        self.failed = False
+
+    def _set_state(self, state: str) -> None:
+        self.state = state
+        self.history.append((self.sim.now, state))
+
+    def _should_fail(self) -> bool:
+        if self.fail_at is not None and self.sim.now >= self.fail_at:
+            self.failed = True
+            return True
+        return False
+
+    def _heartbeat(self) -> None:
+        """Publish this tick's liveness for the chain position held.
+
+        Position 0 writes the paper's state tuple; deeper positions write
+        alive tuples.  Leases bound the garbage left by dead shadowers.
+        """
+        lease = 2.5 * self.tick
+        if self.position == 0:
+            self.space.write(
+                state_tuple(self.group, self.ticks_executed), lease=lease
+            )
+        else:
+            self.space.write(
+                alive_tuple(self.group, self.position, self.ticks_executed),
+                lease=lease,
+            )
+
+    def _upstream_template(self):
+        if self.position == 1:
+            return state_template(self.group)
+        return alive_template(self.group, self.position - 1)
+
+    def run(self):
+        # Step 2: race for the start tuple; exactly one actuator wins
+        # (the timestamp total order on the take resolves the race).
+        claimed = self.space.take_if_exists(start_template(self.group))
+        if claimed is not None:
+            self.position = 0
+            self._set_state(self.OPERATING)
+            yield from self._operate()
+        else:
+            self.position = max(1, self.rank)
+            self._set_state(self.BACKUP)
+            yield from self._shadow()
+
+    def _operate(self):
+        # Step 3: execute the program semantics; write the state tuple on
+        # each tick.
+        while True:
+            if self._should_fail():
+                return
+            self._heartbeat()
+            self.ticks_executed += 1
+            yield self.sim.timeout(self.tick)
+
+    def _shadow(self):
+        # Step 4: on each tick remove the upstream neighbour's heartbeat;
+        # a failed take starts the recovery procedure (shift one position
+        # up; position 0 means taking over the actuator program).
+        stagger = self.position * (self.tick / 100.0)
+        yield self.sim.timeout(self.tick + stagger)
+        while True:
+            if self._should_fail():
+                return
+            found = self.space.take_if_exists(self._upstream_template())
+            if found is None:
+                self.position -= 1
+                if self.position == 0:
+                    self._set_state(self.OPERATING)
+                    yield from self._operate()
+                    return
+            else:
+                self.ticks_executed += 1
+            self._heartbeat()
+            yield self.sim.timeout(self.tick)
+
+
+# -- Sec. 2.1: producer/consumer FFT offload -----------------------------------
+
+def fft_request(job_id: int, samples: list) -> LindaTuple:
+    return LindaTuple("fft-request", job_id, samples)
+
+def fft_request_template() -> TupleTemplate:
+    return TupleTemplate("fft-request", int, list)
+
+def fft_result_template(job_id: int) -> TupleTemplate:
+    return TupleTemplate("fft-result", job_id, ANY)
+
+
+class ProducerAgent(SpaceAgent):
+    """A low-performance node posting FFT jobs and awaiting results."""
+
+    def __init__(
+        self,
+        sim,
+        space,
+        producer_id: int,
+        n_jobs: int,
+        samples_per_job: int = 16,
+        interval: float = 0.5,
+        name: str = "",
+    ):
+        super().__init__(sim, space, name or f"producer{producer_id}")
+        self.producer_id = producer_id
+        self.n_jobs = n_jobs
+        self.samples_per_job = samples_per_job
+        self.interval = interval
+        self.response_times: list[float] = []
+        self.completed = 0
+
+    def run(self):
+        rng = self.sim.stream(f"producer.{self.producer_id}")
+        for index in range(self.n_jobs):
+            job_id = self.producer_id * 100000 + index
+            samples = [rng.uniform(-1.0, 1.0) for _ in range(self.samples_per_job)]
+            posted_at = self.sim.now
+            self.space.write(fft_request(job_id, samples))
+            result = yield self.take(fft_result_template(job_id))
+            self.response_times.append(self.sim.now - posted_at)
+            self.completed += 1
+            yield self.sim.timeout(self.interval)
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return math.nan
+        return sum(self.response_times) / len(self.response_times)
+
+
+class ConsumerAgent(SpaceAgent):
+    """A high-performance node serving FFT jobs from the space."""
+
+    def __init__(self, sim, space, consumer_id: int, service_time: float = 0.2, name: str = ""):
+        super().__init__(sim, space, name or f"consumer{consumer_id}")
+        self.consumer_id = consumer_id
+        self.service_time = service_time
+        self.jobs_served = 0
+
+    def run(self):
+        while True:
+            job = yield self.take(fft_request_template())
+            _, job_id, samples = job.fields
+            yield self.sim.timeout(self.service_time)
+            spectrum = dft_magnitudes(samples)
+            self.space.write(LindaTuple("fft-result", job_id, spectrum))
+            self.jobs_served += 1
+
+
+def dft_magnitudes(samples: list) -> list:
+    """Magnitudes of the discrete Fourier transform (the offloaded job)."""
+    n = len(samples)
+    if n == 0:
+        return []
+    out = []
+    for k in range(n):
+        real = sum(
+            x * math.cos(-2.0 * math.pi * k * i / n)
+            for i, x in enumerate(samples)
+        )
+        imag = sum(
+            x * math.sin(-2.0 * math.pi * k * i / n)
+            for i, x in enumerate(samples)
+        )
+        out.append(math.hypot(real, imag))
+    return out

@@ -1,0 +1,174 @@
+"""Synchronous space client (the "C++ client" of the paper, host flavour).
+
+Speaks the XML wire protocol over any connection exposing ``send_bytes``
+/ ``recv_bytes`` — a TCP socket, the in-process loopback, or anything
+byte-stream shaped.  The client keeps one outstanding request at a time
+(the embedded client of the paper is likewise strictly sequential);
+asynchronous NOTIFY_EVENT messages interleaved with responses are
+dispatched to registered callbacks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from repro.core.errors import ProtocolError, SpaceError
+from repro.core.protocol import (
+    Message,
+    MessageType,
+    StreamParser,
+    encode_message,
+)
+from repro.core.xmlcodec import XmlCodec
+
+
+class SpaceClient:
+    """Blocking client for a remote space server."""
+
+    def __init__(self, connection, codec: XmlCodec, poll_interval: float = 0.005):
+        self.connection = connection
+        self.codec = codec
+        self.poll_interval = poll_interval
+        self._parser = StreamParser(codec)
+        self._next_request_id = 0
+        self._notify_handlers: dict[int, Callable] = {}
+        self.requests_sent = 0
+        self.events_received = 0
+
+    # -- space operations ---------------------------------------------------
+
+    def write(
+        self,
+        entry: Any,
+        lease: Optional[float] = None,
+        created_at: Optional[float] = None,
+    ) -> dict:
+        """Write an entry; returns ``{"lease_id": ..., "granted": ...}``.
+
+        ``created_at`` (a clock-synchronized timestamp) makes the entry's
+        lifetime count from its creation at the client rather than from
+        its arrival at the server.
+        """
+        params = {}
+        if lease is not None:
+            params["lease"] = lease
+        if created_at is not None:
+            params["created_at"] = created_at
+        reply = self._request(MessageType.WRITE, params, entry)
+        self._expect(reply, MessageType.WRITE_ACK)
+        return {
+            "lease_id": reply.param_int("lease_id"),
+            "granted": reply.param_float("granted"),
+        }
+
+    def read(self, template: Any, timeout: Optional[float] = None) -> Optional[Any]:
+        """Blocking read; ``None`` when the server times out the request."""
+        return self._blocking(MessageType.READ, template, timeout)
+
+    def take(self, template: Any, timeout: Optional[float] = None) -> Optional[Any]:
+        """Blocking take; ``None`` when the server times out the request."""
+        return self._blocking(MessageType.TAKE, template, timeout)
+
+    def read_if_exists(self, template: Any) -> Optional[Any]:
+        reply = self._request(MessageType.READ_IF_EXISTS, {}, template)
+        return self._result(reply)
+
+    def take_if_exists(self, template: Any) -> Optional[Any]:
+        reply = self._request(MessageType.TAKE_IF_EXISTS, {}, template)
+        return self._result(reply)
+
+    def notify(
+        self,
+        template: Any,
+        callback: Callable[[Message], None],
+        lease: Optional[float] = None,
+    ) -> dict:
+        """Subscribe; ``callback(message)`` runs for each NOTIFY_EVENT."""
+        params = {} if lease is None else {"lease": lease}
+        reply = self._request(MessageType.NOTIFY_REGISTER, params, template)
+        self._expect(reply, MessageType.NOTIFY_ACK)
+        registration_id = reply.param_int("registration_id")
+        self._notify_handlers[registration_id] = callback
+        return {
+            "registration_id": registration_id,
+            "lease_id": reply.param_int("lease_id"),
+        }
+
+    def cancel_lease(self, lease_id: int) -> None:
+        reply = self._request(MessageType.CANCEL_LEASE, {"lease_id": lease_id})
+        self._expect(reply, MessageType.LEASE_ACK)
+
+    def renew_lease(self, lease_id: int, duration: float) -> float:
+        reply = self._request(
+            MessageType.RENEW_LEASE,
+            {"lease_id": lease_id, "duration": duration},
+        )
+        self._expect(reply, MessageType.LEASE_ACK)
+        return reply.param_float("remaining")
+
+    def ping(self) -> bool:
+        reply = self._request(MessageType.PING, {})
+        return reply.msg_type is MessageType.PONG
+
+    def poll_events(self) -> int:
+        """Drain pending notify events without issuing a request."""
+        dispatched = 0
+        for message in self._parser.feed(self.connection.recv_bytes()):
+            self._dispatch_event(message)
+            dispatched += 1
+        return dispatched
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _blocking(self, msg_type: MessageType, template: Any, timeout) -> Optional[Any]:
+        params = {} if timeout is None else {"timeout": timeout}
+        reply = self._request(msg_type, params, template)
+        return self._result(reply)
+
+    def _result(self, reply: Message) -> Optional[Any]:
+        if reply.msg_type is MessageType.RESULT_NULL:
+            return None
+        self._expect(reply, MessageType.RESULT_ENTRY)
+        return reply.item
+
+    def _request(self, msg_type: MessageType, params: dict, item: Any = None) -> Message:
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        message = Message(msg_type, request_id, params, item)
+        self.connection.send_bytes(encode_message(message, self.codec))
+        self.requests_sent += 1
+        return self._await_response(request_id)
+
+    def _await_response(self, request_id: int) -> Message:
+        while True:
+            data = self.connection.recv_bytes()
+            if not data:
+                if getattr(self.connection, "closed", False):
+                    raise ConnectionError("connection closed mid-request")
+                time.sleep(self.poll_interval)
+                continue
+            for message in self._parser.feed(data):
+                if message.msg_type is MessageType.NOTIFY_EVENT:
+                    self._dispatch_event(message)
+                    continue
+                if message.request_id == request_id:
+                    if message.msg_type is MessageType.ERROR:
+                        raise SpaceError(message.params.get("text", "server error"))
+                    return message
+                raise ProtocolError(
+                    f"response for unknown request {message.request_id}"
+                )
+
+    def _dispatch_event(self, message: Message) -> None:
+        self.events_received += 1
+        registration_id = message.param_int("registration_id")
+        handler = self._notify_handlers.get(registration_id)
+        if handler is not None:
+            handler(message)
+
+    def _expect(self, reply: Message, expected: MessageType) -> None:
+        if reply.msg_type is not expected:
+            raise ProtocolError(
+                f"expected {expected.name}, got {reply.msg_type.name}"
+            )

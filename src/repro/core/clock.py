@@ -1,0 +1,56 @@
+"""Clock abstraction.
+
+The tuplespace engine needs time for leases and timestamps, but it must
+run in three worlds: real time (the threaded socket server), simulated
+time (the co-simulation of the paper) and controlled time (tests).  All
+take a :class:`Clock`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+class Clock:
+    """Time source protocol: ``now()`` in seconds, monotone."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time (monotonic)."""
+
+    def now(self) -> float:
+        return _time.monotonic()
+
+
+class SimClock(Clock):
+    """Simulation time of a :class:`repro.des.Simulator`."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def now(self) -> float:
+        return self.sim.now
+
+
+class ManualClock(Clock):
+    """Test clock advanced explicitly."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        if delta < 0:
+            raise ValueError(f"cannot go back in time by {delta}")
+        self._now += delta
+        return self._now
+
+    def set(self, value: float) -> None:
+        if value < self._now:
+            raise ValueError(f"cannot go back in time to {value}")
+        self._now = value

@@ -1,0 +1,25 @@
+"""Tuplespace middleware exceptions."""
+
+
+class SpaceError(Exception):
+    """Base class for tuplespace errors."""
+
+
+class NoMatchError(SpaceError):
+    """A blocking read/take timed out without finding a matching entry."""
+
+
+class LeaseDeniedError(SpaceError):
+    """The space refused the requested lease duration."""
+
+
+class LeaseExpiredError(SpaceError):
+    """An operation referenced a lease that has already expired."""
+
+
+class TransactionError(SpaceError):
+    """Illegal transaction usage (reuse after commit, cross-space, ...)."""
+
+
+class ProtocolError(SpaceError):
+    """Malformed wire-protocol message or XML entry encoding."""

@@ -1,0 +1,67 @@
+"""Subscribe/notify support (JavaSpaces ``notify`` analog).
+
+Sec. 2: "primitives to support the subscribe (declare the interest of an
+agent on some kind of tuples) and notify (callback to subscriber) paradigm
+are usually provided."
+
+A listener registers a template; every subsequently written matching entry
+triggers a :class:`RemoteEvent` callback.  Registrations are leased like
+entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.lease import Lease
+
+_registration_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class RemoteEvent:
+    """Delivered to a listener when a matching entry is written."""
+
+    registration_id: int
+    sequence: int          #: per-registration notification count (1-based)
+    space_sequence: int    #: the space-wide timestamp of the written entry
+    item: Any = None       #: the written entry (convenience; JavaSpaces
+                           #: proper delivers only the notification)
+
+
+class EventRegistration:
+    """One active subscription."""
+
+    def __init__(
+        self,
+        template: Any,
+        listener: Callable[[RemoteEvent], None],
+        lease: Lease,
+    ):
+        self.registration_id = next(_registration_ids)
+        self.template = template
+        self.listener = listener
+        self.lease = lease
+        self.notifications = 0
+
+    @property
+    def active(self) -> bool:
+        return not self.lease.expired
+
+    def deliver(self, space_sequence: int, item: Any) -> None:
+        self.notifications += 1
+        event = RemoteEvent(
+            self.registration_id, self.notifications, space_sequence, item
+        )
+        self.listener(event)
+
+    def cancel(self) -> None:
+        self.lease.cancel()
+
+    def __repr__(self) -> str:
+        return (
+            f"EventRegistration(id={self.registration_id}, "
+            f"notifications={self.notifications})"
+        )

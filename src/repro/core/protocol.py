@@ -1,0 +1,183 @@
+"""Socket wire protocol between clients and the space server.
+
+Sec. 4.2: the C++ client on the Theseus board cannot run a JVM, so a
+"Java/socket wrapper" exposes the space server over a byte stream with
+XML-encoded entries.  This module defines that byte stream.
+
+Frame layout (big-endian)::
+
+    magic(2) = 0x54 0x53 ("TS")
+    type(1)              -- MessageType
+    request_id(4)
+    body_length(4)
+    body(body_length)    -- XML document (may be empty)
+
+Requests carry scalar parameters (lease duration, timeout, lease ids) as
+attributes of a ``<request>`` wrapper element whose first child, if any,
+is the XML-encoded entry/tuple/template.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.core.errors import ProtocolError
+from repro.core.xmlcodec import XmlCodec
+
+MAGIC = b"TS"
+HEADER = struct.Struct(">2sBII")
+
+#: Upper bound on one message body; protects servers from bad lengths.
+MAX_BODY = 1 << 20
+
+
+class MessageType(enum.IntEnum):
+    # client -> server
+    WRITE = 0x01
+    READ = 0x02
+    TAKE = 0x03
+    READ_IF_EXISTS = 0x04
+    TAKE_IF_EXISTS = 0x05
+    NOTIFY_REGISTER = 0x06
+    CANCEL_LEASE = 0x07
+    RENEW_LEASE = 0x08
+    PING = 0x09
+    # server -> client
+    WRITE_ACK = 0x81
+    RESULT_ENTRY = 0x82
+    RESULT_NULL = 0x83
+    NOTIFY_ACK = 0x84
+    NOTIFY_EVENT = 0x85
+    LEASE_ACK = 0x86
+    ERROR = 0x87
+    PONG = 0x88
+
+
+#: Message types a server may send.
+RESPONSE_TYPES = {
+    MessageType.WRITE_ACK,
+    MessageType.RESULT_ENTRY,
+    MessageType.RESULT_NULL,
+    MessageType.NOTIFY_ACK,
+    MessageType.NOTIFY_EVENT,
+    MessageType.LEASE_ACK,
+    MessageType.ERROR,
+    MessageType.PONG,
+}
+
+
+@dataclass
+class Message:
+    """One decoded protocol message."""
+
+    msg_type: MessageType
+    request_id: int
+    #: scalar parameters (<request> attributes): lease, timeout, lease_id...
+    params: dict = field(default_factory=dict)
+    #: the embedded entry/tuple/template, if any (decoded object)
+    item: Any = None
+
+    def param_float(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        value = self.params.get(name)
+        if value is None:
+            return default
+        try:
+            return float(value)
+        except ValueError:
+            raise ProtocolError(f"parameter {name}={value!r} is not a number")
+
+    def param_int(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        value = self.params.get(name)
+        if value is None:
+            return default
+        try:
+            return int(value)
+        except ValueError:
+            raise ProtocolError(f"parameter {name}={value!r} is not an int")
+
+
+def encode_message(message: Message, codec: XmlCodec) -> bytes:
+    """Serialise a :class:`Message` to wire bytes."""
+    root = ET.Element("request")
+    for key, value in sorted(message.params.items()):
+        root.set(key, str(value))
+    if message.item is not None:
+        root.append(codec.to_element(message.item))
+    body = b"" if not message.params and message.item is None else ET.tostring(
+        root, encoding="utf-8"
+    )
+    if len(body) > MAX_BODY:
+        raise ProtocolError(f"message body too large: {len(body)} bytes")
+    header = HEADER.pack(
+        MAGIC, int(message.msg_type), message.request_id, len(body)
+    )
+    return header + body
+
+
+def decode_body(msg_type: MessageType, request_id: int, body: bytes, codec: XmlCodec) -> Message:
+    """Reconstruct a :class:`Message` from its decoded header and body."""
+    if not body:
+        return Message(msg_type, request_id)
+    try:
+        root = ET.fromstring(body)
+    except ET.ParseError as exc:
+        raise ProtocolError(f"bad message XML: {exc}") from exc
+    if root.tag != "request":
+        raise ProtocolError(f"expected <request>, got <{root.tag}>")
+    params = dict(root.attrib)
+    children = list(root)
+    if len(children) > 1:
+        raise ProtocolError("a message carries at most one item")
+    item = codec.from_element(children[0]) if children else None
+    return Message(msg_type, request_id, params, item)
+
+
+class StreamParser:
+    """Incremental parser: feed bytes, iterate complete messages.
+
+    Used by every transport — TCP sockets, in-memory pipes and the TpWIRE
+    bridges — since all of them deliver arbitrary byte chunks.
+    """
+
+    def __init__(self, codec: XmlCodec):
+        self.codec = codec
+        self._buffer = bytearray()
+        self.messages_parsed = 0
+
+    def feed(self, data: bytes) -> list[Message]:
+        """Append bytes; return every message completed by them."""
+        self._buffer.extend(data)
+        messages = []
+        while True:
+            message = self._try_parse_one()
+            if message is None:
+                return messages
+            messages.append(message)
+
+    def _try_parse_one(self) -> Optional[Message]:
+        if len(self._buffer) < HEADER.size:
+            return None
+        magic, raw_type, request_id, length = HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad magic {magic!r}; stream out of sync")
+        if length > MAX_BODY:
+            raise ProtocolError(f"declared body too large: {length}")
+        total = HEADER.size + length
+        if len(self._buffer) < total:
+            return None
+        body = bytes(self._buffer[HEADER.size : total])
+        del self._buffer[:total]
+        try:
+            msg_type = MessageType(raw_type)
+        except ValueError:
+            raise ProtocolError(f"unknown message type {raw_type:#x}")
+        self.messages_parsed += 1
+        return decode_body(msg_type, request_id, body, self.codec)
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,132 @@
+"""In-process remote method invocation (the Java RMI analog).
+
+Sec. 4.1: clients of the Java prototype reach the SpaceServer through
+RMI; after the socket wrapper is introduced, "RMI is still used inside the
+server, this time to interface the server with the Java/socket wrapper".
+
+The analog keeps RMI's essential semantics without a JVM:
+
+* a :class:`Registry` binds names to :class:`Skeleton`-wrapped objects;
+* :meth:`Registry.lookup` hands out a :class:`RemoteProxy` whose method
+  calls are forwarded through the skeleton;
+* arguments and results are passed **by value** (deep-copied) when
+  ``isolate=True``, reproducing RMI marshalling semantics — mutations on
+  one side never leak to the other;
+* an optional invocation hook observes every call (used by the
+  co-simulation to charge marshalling/dispatch latency).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Optional
+
+
+class RmiError(Exception):
+    """Registry/skeleton misuse (unknown name, unexposed method)."""
+
+
+class Skeleton:
+    """Server-side dispatcher for one remote object."""
+
+    def __init__(self, target: Any, exposed: Optional[list[str]] = None, isolate: bool = False):
+        self.target = target
+        if exposed is None:
+            exposed = [
+                name
+                for name in dir(target)
+                if not name.startswith("_") and callable(getattr(target, name))
+            ]
+        self.exposed = set(exposed)
+        self.isolate = isolate
+        self.invocations = 0
+
+    def invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
+        if method not in self.exposed:
+            raise RmiError(
+                f"method {method!r} is not exposed by "
+                f"{type(self.target).__name__}"
+            )
+        self.invocations += 1
+        if self.isolate:
+            args = copy.deepcopy(args)
+            kwargs = copy.deepcopy(kwargs)
+        result = getattr(self.target, method)(*args, **kwargs)
+        if self.isolate:
+            result = copy.deepcopy(result)
+        return result
+
+
+class RemoteProxy:
+    """Client-side stub: attribute access yields forwarding callables."""
+
+    def __init__(
+        self,
+        skeleton: Skeleton,
+        name: str,
+        call_hook: Optional[Callable[[str, str], None]] = None,
+    ):
+        # Avoid __setattr__ recursion by writing through __dict__.
+        self.__dict__["_skeleton"] = skeleton
+        self.__dict__["_name"] = name
+        self.__dict__["_call_hook"] = call_hook
+
+    def __getattr__(self, method: str):
+        if method.startswith("_"):
+            raise AttributeError(method)
+        skeleton = self.__dict__["_skeleton"]
+        name = self.__dict__["_name"]
+        hook = self.__dict__["_call_hook"]
+
+        def invoke(*args, **kwargs):
+            if hook is not None:
+                hook(name, method)
+            return skeleton.invoke(method, args, kwargs)
+
+        invoke.__name__ = method
+        return invoke
+
+    def __setattr__(self, key, value):
+        raise AttributeError("remote proxies expose methods only")
+
+    def __repr__(self) -> str:
+        return f"RemoteProxy({self.__dict__['_name']!r})"
+
+
+class Registry:
+    """Name service binding remote objects (``rmiregistry`` analog)."""
+
+    def __init__(self, call_hook: Optional[Callable[[str, str], None]] = None):
+        self._bindings: dict[str, Skeleton] = {}
+        self.call_hook = call_hook
+
+    def bind(
+        self,
+        name: str,
+        target: Any,
+        exposed: Optional[list[str]] = None,
+        isolate: bool = False,
+    ) -> Skeleton:
+        if name in self._bindings:
+            raise RmiError(f"name {name!r} is already bound")
+        skeleton = Skeleton(target, exposed, isolate)
+        self._bindings[name] = skeleton
+        return skeleton
+
+    def rebind(self, name: str, target: Any, **kwargs) -> Skeleton:
+        self._bindings.pop(name, None)
+        return self.bind(name, target, **kwargs)
+
+    def unbind(self, name: str) -> None:
+        if name not in self._bindings:
+            raise RmiError(f"name {name!r} is not bound")
+        del self._bindings[name]
+
+    def lookup(self, name: str) -> RemoteProxy:
+        skeleton = self._bindings.get(name)
+        if skeleton is None:
+            raise RmiError(f"name {name!r} is not bound")
+        return RemoteProxy(skeleton, name, self.call_hook)
+
+    def names(self) -> list[str]:
+        return sorted(self._bindings)

@@ -1,0 +1,280 @@
+"""The SpaceServer: protocol-level front end of a tuplespace.
+
+Sec. 4.1: "The name of the space server class is SpaceServer"; clients
+reach it through RMI or, for non-Java participants, through the socket
+wrapper speaking the XML wire protocol of :mod:`repro.core.protocol`.
+
+The server is transport-agnostic: a *session* is anything with a
+``send(message)`` method; the transports (TCP sockets, in-memory pipes,
+TpWIRE bridges) adapt their byte streams to :meth:`SpaceServer.handle`
+calls.  Blocking READ/TAKE requests park a space waiter plus a timeout
+timer, so one server serves many sessions without threads of its own.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.core.errors import ProtocolError, SpaceError
+from repro.core.lease import Lease
+from repro.core.protocol import Message, MessageType
+from repro.core.space import TupleSpace, WaitMode
+from repro.core.xmlcodec import XmlCodec
+
+
+class Timers:
+    """Timeout scheduling protocol: ``call_later(delay, fn) -> handle``.
+
+    A handle must expose ``cancel()``.
+    """
+
+    def call_later(self, delay: float, fn) -> Any:
+        raise NotImplementedError
+
+
+class SimTimers(Timers):
+    """Timers on a :class:`repro.des.Simulator`."""
+
+    class _Handle:
+        def __init__(self, sim, event):
+            self._sim = sim
+            self._event = event
+
+        def cancel(self) -> None:
+            self._sim.cancel(self._event)
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def call_later(self, delay: float, fn) -> "_Handle":
+        return self._Handle(self.sim, self.sim.after(delay, fn))
+
+
+class ThreadTimers(Timers):
+    """Real-time timers (``threading.Timer``) for the socket server."""
+
+    def call_later(self, delay: float, fn) -> threading.Timer:
+        timer = threading.Timer(delay, fn)
+        timer.daemon = True
+        timer.start()
+        return timer
+
+
+class NullTimers(Timers):
+    """No timeouts (blocking requests wait forever); for simple tests."""
+
+    class _Handle:
+        def cancel(self) -> None:
+            pass
+
+    def call_later(self, delay: float, fn) -> "_Handle":
+        return self._Handle()
+
+
+#: Default blocking-request timeout when the client sends none.
+DEFAULT_TIMEOUT = 60.0
+
+
+class SpaceServer:
+    """Dispatches wire-protocol requests onto a :class:`TupleSpace`."""
+
+    def __init__(
+        self,
+        space: TupleSpace,
+        codec: XmlCodec,
+        timers: Optional[Timers] = None,
+        name: str = "SpaceServer",
+    ):
+        self.space = space
+        self.codec = codec
+        self.timers = timers if timers is not None else NullTimers()
+        self.name = name
+        self._leases: dict[int, Lease] = {}
+        self._next_lease_id = 0
+        self._registrations: dict[int, Any] = {}
+        self.requests_handled = 0
+        self.errors_sent = 0
+
+    # -- main entry point -----------------------------------------------------
+
+    def handle(self, session, message: Message) -> None:
+        """Process one request; respond through ``session.send``."""
+        self.requests_handled += 1
+        handler = self._HANDLERS.get(message.msg_type)
+        if handler is None:
+            self._error(session, message, f"unexpected message type "
+                                          f"{message.msg_type.name}")
+            return
+        try:
+            handler(self, session, message)
+        except (SpaceError, ProtocolError) as exc:
+            self._error(session, message, str(exc))
+
+    # -- individual operations ---------------------------------------------------
+
+    #: Effectively-expired writes get this microscopic lease so the write
+    #: succeeds but the entry is never visible to a later take.
+    EXPIRED_LEASE = 1e-9
+
+    def _handle_write(self, session, message: Message) -> None:
+        if message.item is None:
+            raise ProtocolError("WRITE carries no entry")
+        lease_duration = message.param_float("lease")
+        created_at = message.param_float("created_at")
+        dead_on_arrival = False
+        if lease_duration is not None and created_at is not None:
+            # The entry's lifetime counts from its creation at the client
+            # (clock-synchronized deployments); grant only the remainder.
+            age = max(0.0, self.space.clock.now() - created_at)
+            remaining = lease_duration - age
+            dead_on_arrival = remaining <= 0
+            lease_duration = max(self.EXPIRED_LEASE, remaining)
+        lease = self.space.write(message.item, lease=lease_duration)
+        if dead_on_arrival:
+            lease.cancel()
+        lease_id = self._register_lease(lease)
+        session.send(Message(
+            MessageType.WRITE_ACK,
+            message.request_id,
+            {"lease_id": lease_id, "granted": lease.duration},
+        ))
+
+    def _handle_blocking(self, session, message: Message, mode: WaitMode) -> None:
+        if message.item is None:
+            raise ProtocolError(f"{message.msg_type.name} carries no template")
+        timeout = message.param_float("timeout", DEFAULT_TIMEOUT)
+        state = {"done": False, "timer": None}
+
+        def on_match(item):
+            if state["done"]:
+                return
+            state["done"] = True
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            session.send(Message(
+                MessageType.RESULT_ENTRY, message.request_id, {}, item
+            ))
+
+        waiter = self.space.register_waiter(message.item, mode, on_match)
+        if state["done"] or not waiter.active:
+            return
+
+        def on_timeout():
+            if state["done"]:
+                return
+            state["done"] = True
+            waiter.cancel()
+            session.send(Message(MessageType.RESULT_NULL, message.request_id))
+
+        state["timer"] = self.timers.call_later(timeout, on_timeout)
+
+    def _handle_read(self, session, message: Message) -> None:
+        self._handle_blocking(session, message, WaitMode.READ)
+
+    def _handle_take(self, session, message: Message) -> None:
+        self._handle_blocking(session, message, WaitMode.TAKE)
+
+    def _handle_if_exists(self, session, message: Message, take: bool) -> None:
+        if message.item is None:
+            raise ProtocolError(f"{message.msg_type.name} carries no template")
+        if take:
+            item = self.space.take_if_exists(message.item)
+        else:
+            item = self.space.read_if_exists(message.item)
+        if item is None:
+            session.send(Message(MessageType.RESULT_NULL, message.request_id))
+        else:
+            session.send(Message(
+                MessageType.RESULT_ENTRY, message.request_id, {}, item
+            ))
+
+    def _handle_read_if_exists(self, session, message: Message) -> None:
+        self._handle_if_exists(session, message, take=False)
+
+    def _handle_take_if_exists(self, session, message: Message) -> None:
+        self._handle_if_exists(session, message, take=True)
+
+    def _handle_notify_register(self, session, message: Message) -> None:
+        if message.item is None:
+            raise ProtocolError("NOTIFY_REGISTER carries no template")
+        lease_duration = message.param_float("lease")
+
+        def listener(event):
+            session.send(Message(
+                MessageType.NOTIFY_EVENT,
+                message.request_id,
+                {
+                    "registration_id": event.registration_id,
+                    "sequence": event.sequence,
+                },
+                event.item,
+            ))
+
+        registration = self.space.notify(message.item, listener, lease_duration)
+        lease_id = self._register_lease(registration.lease)
+        self._registrations[registration.registration_id] = registration
+        session.send(Message(
+            MessageType.NOTIFY_ACK,
+            message.request_id,
+            {
+                "registration_id": registration.registration_id,
+                "lease_id": lease_id,
+            },
+        ))
+
+    def _handle_cancel_lease(self, session, message: Message) -> None:
+        lease = self._lease_for(message)
+        lease.cancel()
+        session.send(Message(
+            MessageType.LEASE_ACK, message.request_id, {"remaining": 0.0}
+        ))
+
+    def _handle_renew_lease(self, session, message: Message) -> None:
+        lease = self._lease_for(message)
+        duration = message.param_float("duration")
+        if duration is None:
+            raise ProtocolError("RENEW_LEASE needs a duration")
+        lease.renew(duration)
+        session.send(Message(
+            MessageType.LEASE_ACK,
+            message.request_id,
+            {"remaining": lease.remaining()},
+        ))
+
+    def _handle_ping(self, session, message: Message) -> None:
+        session.send(Message(MessageType.PONG, message.request_id))
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _register_lease(self, lease: Lease) -> int:
+        self._next_lease_id += 1
+        self._leases[self._next_lease_id] = lease
+        return self._next_lease_id
+
+    def _lease_for(self, message: Message) -> Lease:
+        lease_id = message.param_int("lease_id")
+        if lease_id is None:
+            raise ProtocolError("missing lease_id")
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            raise ProtocolError(f"unknown lease id {lease_id}")
+        return lease
+
+    def _error(self, session, message: Message, text: str) -> None:
+        self.errors_sent += 1
+        session.send(Message(
+            MessageType.ERROR, message.request_id, {"text": text}
+        ))
+
+    _HANDLERS = {
+        MessageType.WRITE: _handle_write,
+        MessageType.READ: _handle_read,
+        MessageType.TAKE: _handle_take,
+        MessageType.READ_IF_EXISTS: _handle_read_if_exists,
+        MessageType.TAKE_IF_EXISTS: _handle_take_if_exists,
+        MessageType.NOTIFY_REGISTER: _handle_notify_register,
+        MessageType.CANCEL_LEASE: _handle_cancel_lease,
+        MessageType.RENEW_LEASE: _handle_renew_lease,
+        MessageType.PING: _handle_ping,
+    }

@@ -1,0 +1,109 @@
+"""Blocking space operations for discrete-event processes.
+
+The engine's waiter mechanism is callback-based; these helpers adapt it to
+waitables so DES processes can block on the space directly::
+
+    def worker(sim, space):
+        item = yield space_take(sim, space, template, timeout=5.0)
+        if item is None:
+            ...  # timed out
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.des.process import SimEvent, Waitable
+from repro.core.space import TupleSpace, WaitMode
+
+
+def _blocking_op(
+    sim,
+    space: TupleSpace,
+    template: Any,
+    mode: WaitMode,
+    timeout: Optional[float],
+) -> Waitable:
+    event = SimEvent(sim)
+    state = {"done": False, "timer": None}
+
+    def on_match(item):
+        if state["done"]:
+            return
+        state["done"] = True
+        if state["timer"] is not None:
+            sim.cancel(state["timer"])
+        event.succeed(item)
+
+    waiter = space.register_waiter(template, mode, on_match)
+    if state["done"] or not waiter.active:
+        return event
+
+    if timeout is not None:
+        def on_timeout():
+            if state["done"]:
+                return
+            state["done"] = True
+            waiter.cancel()
+            event.succeed(None)
+
+        state["timer"] = sim.after(timeout, on_timeout)
+    return event
+
+
+def space_take(sim, space: TupleSpace, template: Any, timeout: Optional[float] = None) -> Waitable:
+    """Waitable take: succeeds with the item, or ``None`` on timeout."""
+    return _blocking_op(sim, space, template, WaitMode.TAKE, timeout)
+
+
+def space_read(sim, space: TupleSpace, template: Any, timeout: Optional[float] = None) -> Waitable:
+    """Waitable read: succeeds with the item, or ``None`` on timeout."""
+    return _blocking_op(sim, space, template, WaitMode.READ, timeout)
+
+
+class LeaseKeeper:
+    """Keeps a set of leases alive by periodic renewal.
+
+    The heartbeat pattern behind Sec. 2.1's dynamic extension story: a
+    live device keeps renewing the lease on its service advertisement; a
+    crashed device stops, and the advertisement expires on its own.
+
+    Each managed lease is renewed back to its original duration whenever
+    less than ``renew_fraction`` of it remains.
+    """
+
+    def __init__(self, sim, check_interval: float = 1.0, renew_fraction: float = 0.5):
+        if check_interval <= 0:
+            raise ValueError("check interval must be positive")
+        if not 0.0 < renew_fraction < 1.0:
+            raise ValueError("renew fraction must be in (0, 1)")
+        self.sim = sim
+        self.check_interval = check_interval
+        self.renew_fraction = renew_fraction
+        self._managed: dict[int, tuple] = {}
+        self.renewals = 0
+        self.running = True
+        self._process = sim.spawn(self._run(), name="lease-keeper")
+
+    def manage(self, lease) -> None:
+        """Start keeping ``lease`` alive at its current duration."""
+        self._managed[id(lease)] = (lease, lease.duration)
+
+    def release(self, lease) -> None:
+        """Stop renewing ``lease`` (it will expire naturally)."""
+        self._managed.pop(id(lease), None)
+
+    def stop(self) -> None:
+        """Stop the keeper entirely (simulates the device crashing)."""
+        self.running = False
+
+    def _run(self):
+        while self.running:
+            yield self.sim.timeout(self.check_interval)
+            for key, (lease, duration) in list(self._managed.items()):
+                if lease.cancelled or lease.expired:
+                    self._managed.pop(key, None)
+                    continue
+                if lease.remaining() < duration * self.renew_fraction:
+                    lease.renew(duration)
+                    self.renewals += 1

@@ -1,0 +1,340 @@
+"""The tuplespace engine.
+
+Sec. 2: "a tuplespace is simply an unstructured collection of tuples" with
+agents "writing, reading and removing tuples" addressed associatively, and
+"the timestamp on each tuple determines a total order relation".
+
+The engine is single-threaded and clock-driven: leases expire lazily
+against the injected :class:`~repro.core.clock.Clock`, and blocking
+semantics are expressed through *waiters* (callbacks registered for the
+next matching write), so the same engine serves the threaded socket
+server, the discrete-event co-simulation and plain unit tests.
+
+Stored items can be :class:`~repro.core.tuples.LindaTuple`,
+:class:`~repro.core.entry.Entry`, or anything else; templates are any
+object with a ``matches(item) -> bool`` method.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.core.clock import Clock, SystemClock
+from repro.core.errors import SpaceError, TransactionError
+from repro.core.events import EventRegistration, RemoteEvent
+from repro.core.lease import FOREVER, Lease, LeaseManager
+
+
+class WaitMode(enum.Enum):
+    READ = "read"
+    TAKE = "take"
+
+
+class _Record:
+    """Internal storage slot for one item."""
+
+    __slots__ = ("seq", "item", "lease", "txn_owner", "taken_by")
+
+    def __init__(self, seq: int, item: Any, lease: Lease):
+        self.seq = seq
+        self.item = item
+        self.lease = lease
+        #: transaction that wrote the item (invisible outside it until commit)
+        self.txn_owner = None
+        #: transaction holding a provisional take (invisible until resolved)
+        self.taken_by = None
+
+
+class Waiter:
+    """A pending blocking read/take."""
+
+    __slots__ = ("template", "mode", "callback", "txn", "active")
+
+    def __init__(self, template, mode: WaitMode, callback, txn=None):
+        self.template = template
+        self.mode = mode
+        self.callback = callback
+        self.txn = txn
+        self.active = True
+
+    def cancel(self) -> None:
+        self.active = False
+
+
+class SpaceStats:
+    """Operation counters of one space."""
+
+    def __init__(self):
+        self.writes = 0
+        self.reads = 0
+        self.takes = 0
+        self.misses = 0
+        self.expirations = 0
+        self.notifications = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "writes": self.writes,
+            "reads": self.reads,
+            "takes": self.takes,
+            "misses": self.misses,
+            "expirations": self.expirations,
+            "notifications": self.notifications,
+        }
+
+
+class TupleSpace:
+    """Associatively addressed, leased, observable item store."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        max_lease: float = FOREVER,
+        default_lease: float = FOREVER,
+        name: str = "space",
+    ):
+        self.clock = clock if clock is not None else SystemClock()
+        self.name = name
+        self.leases = LeaseManager(self.clock, max_lease, default_lease)
+        self._records: dict[int, _Record] = {}
+        self._seq = 0
+        self._waiters: list[Waiter] = []
+        self._registrations: list[EventRegistration] = []
+        self.stats = SpaceStats()
+        #: storage observers (e.g. the persistence journal); each gets
+        #: ``item_stored(seq, item, expires_at)`` / ``item_dropped(seq)``.
+        self.observers: list = []
+
+    # -- write -------------------------------------------------------------
+
+    def write(self, item: Any, lease: Optional[float] = None, txn=None) -> Lease:
+        """Store ``item`` under a lease; returns the granted lease."""
+        if item is None:
+            raise SpaceError("cannot write None to a space")
+        self._check_txn(txn)
+        self._seq += 1
+        record = _Record(self._seq, item, None)
+        record.lease = self.leases.grant(
+            lease, on_cancel=lambda _l, rec=record: self._drop(rec)
+        )
+        record.txn_owner = txn
+        self._records[record.seq] = record
+        if txn is not None:
+            txn._written.append(record)
+        self.stats.writes += 1
+        if txn is None:
+            self._notify_stored(record)
+            self._item_became_visible(record)
+        return record.lease
+
+    def _notify_stored(self, record: _Record) -> None:
+        for observer in self.observers:
+            observer.item_stored(
+                record.seq, record.item, record.lease.expires_at
+            )
+
+    # -- non-blocking read/take ------------------------------------------------
+
+    def read_if_exists(self, template, txn=None) -> Optional[Any]:
+        """The oldest matching item, or ``None`` (item stays in the space)."""
+        self._check_txn(txn)
+        record = self._find(template, txn)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.reads += 1
+        return record.item
+
+    def take_if_exists(self, template, txn=None) -> Optional[Any]:
+        """Remove and return the oldest matching item, or ``None``."""
+        self._check_txn(txn)
+        record = self._find(template, txn)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self._consume(record, txn)
+        self.stats.takes += 1
+        return record.item
+
+    # -- blocking support ---------------------------------------------------------
+
+    def register_waiter(
+        self,
+        template,
+        mode: WaitMode,
+        callback: Callable[[Any], None],
+        txn=None,
+    ) -> Waiter:
+        """Register a callback for the next matching visible item.
+
+        If a match already exists the callback fires immediately (and a
+        take consumes the item).  The returned waiter can be cancelled,
+        which is how timeouts are implemented by the callers.
+        """
+        self._check_txn(txn)
+        record = self._find(template, txn)
+        waiter = Waiter(template, mode, callback, txn)
+        if record is not None:
+            waiter.active = False
+            if mode is WaitMode.TAKE:
+                self._consume(record, txn)
+                self.stats.takes += 1
+            else:
+                self.stats.reads += 1
+            callback(record.item)
+            return waiter
+        self._waiters.append(waiter)
+        return waiter
+
+    # -- notify ------------------------------------------------------------------
+
+    def notify(
+        self,
+        template,
+        listener: Callable[[RemoteEvent], None],
+        lease: Optional[float] = None,
+    ) -> EventRegistration:
+        """Subscribe ``listener`` to future writes matching ``template``."""
+        granted = self.leases.grant(lease)
+        registration = EventRegistration(template, listener, granted)
+        self._registrations.append(registration)
+        return registration
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def sweep_expired(self) -> int:
+        """Drop every lease-expired record; returns how many were dropped."""
+        expired = [r for r in self._records.values() if r.lease.expired]
+        for record in expired:
+            self._drop(record)
+            self.stats.expirations += 1
+        self._waiters = [w for w in self._waiters if w.active]
+        self._registrations = [r for r in self._registrations if r.active]
+        return len(expired)
+
+    def __len__(self) -> int:
+        """Number of live, publicly visible items."""
+        return sum(
+            1
+            for r in self._records.values()
+            if not r.lease.expired and r.txn_owner is None and r.taken_by is None
+        )
+
+    @property
+    def pending_waiters(self) -> int:
+        return sum(1 for w in self._waiters if w.active)
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _check_txn(txn) -> None:
+        if txn is not None and not txn.is_active:
+            raise TransactionError(f"transaction is {txn.state.value}, not active")
+
+    def _visible(self, record: _Record, txn) -> bool:
+        if record.lease.expired:
+            return False
+        if record.taken_by is not None:
+            return False
+        if record.txn_owner is not None and record.txn_owner is not txn:
+            return False
+        return True
+
+    def _find(self, template, txn) -> Optional[_Record]:
+        """Oldest visible matching record (total order by timestamp)."""
+        expired = []
+        found = None
+        for record in self._records.values():  # dict preserves seq order
+            if record.lease.expired:
+                expired.append(record)
+                continue
+            if not self._visible(record, txn):
+                continue
+            if template.matches(record.item):
+                found = record
+                break
+        for record in expired:
+            self._drop(record)
+            self.stats.expirations += 1
+        return found
+
+    def _consume(self, record: _Record, txn) -> None:
+        if txn is None:
+            self._drop(record)
+        else:
+            record.taken_by = txn
+            txn._taken.append(record)
+
+    def _drop(self, record: _Record) -> None:
+        existed = self._records.pop(record.seq, None)
+        if existed is not None and record.txn_owner is None:
+            for observer in self.observers:
+                observer.item_dropped(record.seq)
+
+    def _item_became_visible(self, record: _Record) -> None:
+        """Serve waiters and notify subscribers for a newly visible item.
+
+        Notifications fire for every visible write, even when a blocked
+        take consumes the item immediately (JavaSpaces semantics).
+        """
+        self._serve_waiters(record)
+        self._fire_notifications(record)
+
+    def _serve_waiters(self, record: _Record) -> bool:
+        """Deliver to matching waiters in registration order.
+
+        Read waiters all observe the item; the first matching take waiter
+        consumes it and stops delivery.  Returns True when consumed.
+        """
+        self._waiters = [w for w in self._waiters if w.active]
+        for waiter in list(self._waiters):
+            if not waiter.active:
+                continue
+            if not waiter.template.matches(record.item):
+                continue
+            waiter.active = False
+            if waiter.mode is WaitMode.READ:
+                self.stats.reads += 1
+                waiter.callback(record.item)
+                continue
+            self._consume(record, waiter.txn)
+            self.stats.takes += 1
+            waiter.callback(record.item)
+            return True
+        return False
+
+    def _fire_notifications(self, record: _Record) -> None:
+        self._registrations = [r for r in self._registrations if r.active]
+        for registration in self._registrations:
+            if registration.template.matches(record.item):
+                registration.deliver(record.seq, record.item)
+                self.stats.notifications += 1
+
+    # -- transaction resolution (called by Transaction) ---------------------------
+
+    def _commit_txn(self, txn) -> None:
+        for record in txn._taken:
+            self._drop(record)
+        for record in txn._written:
+            if record.seq in self._records and not record.lease.expired:
+                record.txn_owner = None
+                self._notify_stored(record)
+                self._item_became_visible(record)
+
+    def _abort_txn(self, txn) -> None:
+        for record in txn._written:
+            self._drop(record)
+        for record in txn._taken:
+            if record.seq not in self._records:
+                # Written and taken within the same transaction: the
+                # aborted write already dropped it; nothing to restore.
+                continue
+            if record.lease.expired:
+                self._drop(record)
+                continue
+            record.taken_by = None
+            self._item_became_visible(record)
+
+    def __repr__(self) -> str:
+        return f"TupleSpace({self.name!r}, items={len(self)})"

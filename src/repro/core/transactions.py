@@ -1,0 +1,84 @@
+"""Transactions over a tuplespace (JavaSpaces-style, single-space).
+
+Writes under a transaction are invisible to other agents until commit;
+takes under a transaction provisionally remove the entry and restore it on
+abort.  This is the optional JavaSpaces facility the middleware exposes as
+an extension — the paper's evaluation does not use it, but real space
+deployments do, and the fault-tolerance patterns benefit from it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.errors import TransactionError
+
+
+class TransactionState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """A unit of atomicity over one space.
+
+    Use via the space's operations::
+
+        txn = Transaction(space)
+        space.write(entry, txn=txn)
+        got = space.take_if_exists(template, txn=txn)
+        txn.commit()        # or txn.abort()
+
+    Or as a context manager (commit on success, abort on exception)::
+
+        with Transaction(space) as txn:
+            space.write(entry, txn=txn)
+    """
+
+    def __init__(self, space):
+        self.space = space
+        self.state = TransactionState.ACTIVE
+        self._written: list = []
+        self._taken: list = []
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TransactionState.ACTIVE
+
+    def commit(self) -> None:
+        self._require_active()
+        self.state = TransactionState.COMMITTED
+        self.space._commit_txn(self)
+
+    def abort(self) -> None:
+        self._require_active()
+        self.state = TransactionState.ABORTED
+        self.space._abort_txn(self)
+
+    def _require_active(self) -> None:
+        if not self.is_active:
+            raise TransactionError(
+                f"transaction already {self.state.value}"
+            )
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        self._require_active()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self.is_active:
+            return False  # resolved explicitly inside the block
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Transaction({self.state.value}, writes={len(self._written)}, "
+            f"takes={len(self._taken)})"
+        )

@@ -1,0 +1,249 @@
+"""Transports connecting clients to the space server.
+
+Three ways to reach a :class:`~repro.core.server.SpaceServer`:
+
+* :class:`LocalConnection` — synchronous in-process loopback (hermetic
+  unit tests; no threads, no sockets);
+* :class:`SocketSpaceServer` + :func:`open_socket_connection` — a real
+  TCP server over localhost, the direct analog of the paper's
+  "Java/socket wrapper" (Figure 4);
+* the TpWIRE bridges in :mod:`repro.cosim` (Figure 5) for the
+  co-simulated embedded path.
+
+All three speak the same wire protocol; the server is reached through an
+RMI proxy, mirroring the paper's server-internal RMI hop.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.core.protocol import Message, StreamParser, encode_message
+from repro.core.rmi import Registry
+from repro.core.server import SpaceServer, ThreadTimers
+from repro.core.xmlcodec import XmlCodec
+
+
+class _ProxySession:
+    """Session whose ``send`` encodes and forwards to a byte sink."""
+
+    def __init__(self, codec: XmlCodec, sink):
+        self.codec = codec
+        self.sink = sink
+
+    def send(self, message: Message) -> None:
+        self.sink(encode_message(message, self.codec))
+
+
+class LocalConnection:
+    """Synchronous in-process connection to a space server.
+
+    ``send_bytes`` dispatches requests straight into the server (through
+    its RMI proxy); responses accumulate in an internal buffer that
+    ``recv_bytes`` drains.  With :class:`ThreadTimers` on the server,
+    blocking-request timeouts still fire asynchronously.
+    """
+
+    def __init__(self, server: SpaceServer, registry: Optional[Registry] = None):
+        self.codec = server.codec
+        if registry is None:
+            registry = Registry()
+            registry.bind("SpaceServer", server, exposed=["handle"])
+        self._proxy = registry.lookup("SpaceServer")
+        self._parser = StreamParser(self.codec)
+        self._rx = bytearray()
+        self._lock = threading.Lock()
+        self.closed = False
+        self._session = _ProxySession(self.codec, self._deliver)
+
+    def _deliver(self, data: bytes) -> None:
+        with self._lock:
+            self._rx.extend(data)
+
+    def send_bytes(self, data: bytes) -> None:
+        if self.closed:
+            raise ConnectionError("connection is closed")
+        for message in self._parser.feed(data):
+            self._proxy.handle(self._session, message)
+
+    def recv_bytes(self, max_bytes: int = 65536) -> bytes:
+        with self._lock:
+            data = bytes(self._rx[:max_bytes])
+            del self._rx[: len(data)]
+        return data
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class SocketSpaceServer:
+    """TCP front end: one thread per connection, serialised dispatch.
+
+    The space engine is single-threaded, so all request handling (and all
+    timer callbacks) run under one lock.
+    """
+
+    def __init__(
+        self,
+        server: SpaceServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[Registry] = None,
+    ):
+        self.server = server
+        if registry is None:
+            registry = Registry()
+            registry.bind("SpaceServer", server, exposed=["handle"])
+        self._proxy = registry.lookup("SpaceServer")
+        self._lock = threading.RLock()
+        # Timer callbacks touch the (single-threaded) space engine; run
+        # them under the same dispatch lock as request handling.
+        server.timers = _LockedTimers(server.timers, self._lock)
+        self._listener = socket.create_server((host, port))
+        self.address = self._listener.getsockname()
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+        self._client_threads: list[threading.Thread] = []
+        self.connections_accepted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="space-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SocketSpaceServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- internals -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            self.connections_accepted += 1
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="space-server-conn",
+                daemon=True,
+            )
+            self._client_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        codec = self.server.codec
+        parser = StreamParser(codec)
+        send_lock = threading.Lock()
+
+        def sink(data: bytes) -> None:
+            with send_lock:
+                try:
+                    conn.sendall(data)
+                except OSError:
+                    pass
+
+        session = _LockedSession(_ProxySession(codec, sink), self._lock)
+        try:
+            while self._running:
+                data = conn.recv(65536)
+                if not data:
+                    return
+                for message in parser.feed(data):
+                    with self._lock:
+                        self._proxy.handle(session, message)
+        except (OSError, ValueError):
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class _LockedTimers:
+    """Run timer callbacks under the server's dispatch lock."""
+
+    def __init__(self, inner, lock):
+        self._inner = inner
+        self._lock = lock
+
+    def call_later(self, delay: float, fn):
+        def locked_fn():
+            with self._lock:
+                fn()
+
+        return self._inner.call_later(delay, locked_fn)
+
+
+class _LockedSession:
+    """Serialise ``send`` calls issued from timer threads."""
+
+    def __init__(self, inner, lock):
+        self._inner = inner
+        self._lock = lock
+
+    def send(self, message: Message) -> None:
+        # The dispatch lock may already be held (responses sent inline
+        # from handle()); RLock makes that safe.
+        with self._lock:
+            self._inner.send(message)
+
+
+def open_socket_connection(address) -> "SocketConnection":
+    """Connect to a :class:`SocketSpaceServer` at ``(host, port)``."""
+    sock = socket.create_connection(address)
+    return SocketConnection(sock)
+
+
+class SocketConnection:
+    """Blocking socket adapter with the client connection interface."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self.closed = False
+
+    def send_bytes(self, data: bytes) -> None:
+        self._sock.sendall(data)
+
+    def recv_bytes(self, max_bytes: int = 65536) -> bytes:
+        data = self._sock.recv(max_bytes)
+        if not data:
+            self.closed = True
+        return data
+
+    def close(self) -> None:
+        self.closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def make_threaded_server(
+    space, codec: Optional[XmlCodec] = None, host: str = "127.0.0.1", port: int = 0
+) -> SocketSpaceServer:
+    """Convenience: space + codec -> running TCP space server (not started)."""
+    codec = codec if codec is not None else XmlCodec()
+    server = SpaceServer(space, codec, timers=ThreadTimers())
+    return SocketSpaceServer(server, host, port)

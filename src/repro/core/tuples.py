@@ -1,0 +1,131 @@
+"""Linda tuples and templates.
+
+Sec. 2 of the paper: "The basic element of a tuplespace system is a tuple,
+which is simply a vector of typed values, or fields.  Tuples are
+associatively addressed via matching with other tuples."
+
+A :class:`LindaTuple` is an immutable vector of values; a
+:class:`TupleTemplate` is a vector of patterns, each of which is
+
+* an **actual** — a concrete value that must compare equal,
+* a **formal** — a ``type`` that the field's value must be an instance of,
+* :data:`ANY` — matches anything.
+
+Matching requires equal arity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+class _Any:
+    """Sentinel matching any value (singleton :data:`ANY`)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+#: Wildcard pattern: matches any field value.
+ANY = _Any()
+
+
+class LindaTuple:
+    """An immutable ordered vector of typed values."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, *fields: Any):
+        if not fields:
+            raise ValueError("a tuple needs at least one field")
+        object.__setattr__(self, "fields", tuple(fields))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("LindaTuple is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.fields[index]
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LindaTuple) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"LindaTuple({inner})"
+
+
+class TupleTemplate:
+    """Associative-addressing pattern over :class:`LindaTuple`.
+
+    >>> t = LindaTuple("fft", 3, [1.0, 2.0])
+    >>> TupleTemplate("fft", int, ANY).matches(t)
+    True
+    >>> TupleTemplate("fft", 4, ANY).matches(t)
+    False
+    """
+
+    __slots__ = ("patterns",)
+
+    def __init__(self, *patterns: Any):
+        if not patterns:
+            raise ValueError("a template needs at least one pattern")
+        self.patterns = tuple(patterns)
+
+    @property
+    def arity(self) -> int:
+        return len(self.patterns)
+
+    def matches(self, item: Any) -> bool:
+        """``True`` when ``item`` is a tuple this template matches."""
+        if not isinstance(item, LindaTuple):
+            return False
+        if item.arity != self.arity:
+            return False
+        for pattern, value in zip(self.patterns, item.fields):
+            if pattern is ANY:
+                continue
+            if isinstance(pattern, type):
+                # Formal: match by type.  bool is an int subclass; treat
+                # them as distinct field types, as typed tuples would.
+                if pattern is int and isinstance(value, bool):
+                    return False
+                if not isinstance(value, pattern):
+                    return False
+                continue
+            if pattern != value:
+                return False
+        return True
+
+    @classmethod
+    def exact(cls, item: LindaTuple) -> "TupleTemplate":
+        """Template matching exactly one concrete tuple."""
+        return cls(*item.fields)
+
+    def __repr__(self) -> str:
+        parts = []
+        for pattern in self.patterns:
+            if isinstance(pattern, type):
+                parts.append(pattern.__name__)
+            else:
+                parts.append(repr(pattern))
+        return f"TupleTemplate({', '.join(parts)})"

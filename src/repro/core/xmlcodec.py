@@ -1,0 +1,235 @@
+"""XML encoding of entries and tuples (XML-Tuples, ref. [8] of the paper).
+
+Sec. 4.2: "Using sockets, communication between the client and the
+SpaceServer relies on TCP-IP for information exchange and in particular,
+XML is used to represent data entries."
+
+The encoded size matters: it is the number of bytes that crosses the
+TpWIRE bus per operation, which is what Table 4 measures.  The codec is
+therefore a real, reversible XML serialisation, not a stub.
+
+Format::
+
+    <entry class="SensorReading">
+      <field name="sensor_id" type="str">t1</field>
+      <field name="value" type="float">20.5</field>
+      <field name="tick" type="none"/>
+    </entry>
+
+    <tuple>
+      <field type="str">fft-request</field>
+      <field type="list">...</field>
+    </tuple>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Optional
+
+from repro.core.entry import Entry, entry_fields
+from repro.core.errors import ProtocolError
+from repro.core.tuples import ANY, LindaTuple, TupleTemplate
+
+
+class XmlCodec:
+    """Encode/decode entries, tuples and templates to XML bytes.
+
+    Decoding entries needs the entry classes; register them up front::
+
+        codec = XmlCodec()
+        codec.register(SensorReading)
+    """
+
+    def __init__(self):
+        self._classes: dict[str, type] = {}
+
+    def register(self, entry_class: type) -> type:
+        """Register an Entry subclass for decoding (usable as decorator)."""
+        if not (isinstance(entry_class, type) and issubclass(entry_class, Entry)):
+            raise ProtocolError(f"{entry_class!r} is not an Entry subclass")
+        self._classes[entry_class.__name__] = entry_class
+        return entry_class
+
+    def known_classes(self) -> list[str]:
+        return sorted(self._classes)
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, item: Any) -> bytes:
+        """Serialise an entry, tuple or template to UTF-8 XML bytes."""
+        return ET.tostring(self.to_element(item), encoding="utf-8")
+
+    def to_element(self, item: Any) -> ET.Element:
+        if isinstance(item, Entry):
+            element = ET.Element("entry", {"class": type(item).__name__})
+            for name, value in sorted(entry_fields(item).items()):
+                element.append(self._field_element(value, name=name))
+            return element
+        if isinstance(item, LindaTuple):
+            element = ET.Element("tuple")
+            for value in item.fields:
+                element.append(self._field_element(value))
+            return element
+        if isinstance(item, TupleTemplate):
+            element = ET.Element("template")
+            for pattern in item.patterns:
+                element.append(self._pattern_element(pattern))
+            return element
+        raise ProtocolError(f"cannot encode {type(item).__name__} as XML")
+
+    def _field_element(self, value: Any, name: Optional[str] = None) -> ET.Element:
+        attrs = {} if name is None else {"name": name}
+        element = ET.Element("field", attrs)
+        self._write_value(element, value)
+        return element
+
+    def _pattern_element(self, pattern: Any) -> ET.Element:
+        element = ET.Element("field")
+        if pattern is ANY:
+            element.set("type", "any")
+        elif isinstance(pattern, type):
+            element.set("type", "formal")
+            element.text = pattern.__name__
+        else:
+            self._write_value(element, pattern)
+        return element
+
+    def _write_value(self, element: ET.Element, value: Any) -> None:
+        if value is None:
+            element.set("type", "none")
+        elif isinstance(value, bool):
+            element.set("type", "bool")
+            element.text = "true" if value else "false"
+        elif isinstance(value, int):
+            element.set("type", "int")
+            element.text = str(value)
+        elif isinstance(value, float):
+            element.set("type", "float")
+            element.text = repr(value)
+        elif isinstance(value, str):
+            element.set("type", "str")
+            element.text = value
+        elif isinstance(value, bytes):
+            element.set("type", "bytes")
+            element.text = value.hex()
+        elif isinstance(value, (list, tuple)):
+            element.set("type", "list")
+            for member in value:
+                element.append(self._field_element(member))
+        elif isinstance(value, dict):
+            element.set("type", "dict")
+            for key in sorted(value):
+                if not isinstance(key, str):
+                    raise ProtocolError("dict keys must be strings for XML")
+                element.append(self._field_element(value[key], name=key))
+        elif isinstance(value, LindaTuple):
+            element.set("type", "tuple")
+            for member in value.fields:
+                element.append(self._field_element(member))
+        elif isinstance(value, Entry):
+            element.set("type", "entry")
+            element.append(self.to_element(value))
+        else:
+            raise ProtocolError(
+                f"unsupported field type {type(value).__name__} for XML"
+            )
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode(self, data: bytes) -> Any:
+        try:
+            element = ET.fromstring(data)
+        except ET.ParseError as exc:
+            raise ProtocolError(f"bad XML: {exc}") from exc
+        return self.from_element(element)
+
+    def from_element(self, element: ET.Element) -> Any:
+        if element.tag == "entry":
+            return self._decode_entry(element)
+        if element.tag == "tuple":
+            return LindaTuple(
+                *[self._read_value(child) for child in element]
+            )
+        if element.tag == "template":
+            return TupleTemplate(
+                *[self._read_pattern(child) for child in element]
+            )
+        raise ProtocolError(f"unknown XML element <{element.tag}>")
+
+    def _decode_entry(self, element: ET.Element) -> Entry:
+        class_name = element.get("class")
+        if class_name is None:
+            raise ProtocolError("<entry> without a class attribute")
+        entry_class = self._classes.get(class_name)
+        if entry_class is None:
+            raise ProtocolError(f"unregistered entry class {class_name!r}")
+        fields = {}
+        for child in element:
+            name = child.get("name")
+            if name is None:
+                raise ProtocolError("entry <field> without a name")
+            fields[name] = self._read_value(child)
+        try:
+            return entry_class(**fields)
+        except TypeError as exc:
+            raise ProtocolError(
+                f"cannot construct {class_name}(**{sorted(fields)}): {exc}"
+            ) from exc
+
+    _PRIMITIVES = {"none", "bool", "int", "float", "str", "bytes"}
+
+    def _read_value(self, element: ET.Element) -> Any:
+        kind = element.get("type")
+        text = element.text or ""
+        if kind == "none":
+            return None
+        if kind == "bool":
+            if text not in ("true", "false"):
+                raise ProtocolError(f"bad bool literal {text!r}")
+            return text == "true"
+        if kind == "int":
+            return int(text)
+        if kind == "float":
+            return float(text)
+        if kind == "str":
+            return text
+        if kind == "bytes":
+            return bytes.fromhex(text)
+        if kind == "list":
+            return [self._read_value(child) for child in element]
+        if kind == "dict":
+            return {
+                child.get("name"): self._read_value(child)
+                for child in element
+            }
+        if kind == "tuple":
+            return LindaTuple(*[self._read_value(child) for child in element])
+        if kind == "entry":
+            children = list(element)
+            if len(children) != 1:
+                raise ProtocolError("nested entry field needs one child")
+            return self.from_element(children[0])
+        raise ProtocolError(f"unknown field type {kind!r}")
+
+    _FORMAL_TYPES = {
+        "int": int,
+        "float": float,
+        "str": str,
+        "bool": bool,
+        "bytes": bytes,
+        "list": list,
+        "dict": dict,
+    }
+
+    def _read_pattern(self, element: ET.Element) -> Any:
+        kind = element.get("type")
+        if kind == "any":
+            return ANY
+        if kind == "formal":
+            name = element.text or ""
+            formal = self._FORMAL_TYPES.get(name)
+            if formal is None:
+                raise ProtocolError(f"unknown formal type {name!r}")
+            return formal
+        return self._read_value(element)

@@ -1,0 +1,69 @@
+"""Discrete-event simulation kernel (the NS-2 substitute).
+
+The paper models the TpWIRE bus inside Network Simulator 2, whose core is a
+discrete-event scheduler plus a small process/agent runtime.  This package
+provides the same primitives in pure Python:
+
+* :class:`~repro.des.simulator.Simulator` — the event loop (``now``,
+  ``after``, ``at``, ``run``),
+* generator-based processes (:class:`~repro.des.process.Process`) with
+  waitables (:class:`~repro.des.process.Timeout`,
+  :class:`~repro.des.process.SimEvent`, ``AnyOf``/``AllOf``),
+* pluggable scheduler queues (binary heap and a Brown-style calendar queue,
+  the structure NS-2 itself uses),
+* a real-time scheduler mode (used by the paper to validate the NS-2 TpWIRE
+  model against the physical bus),
+* deterministic per-component random streams, NS-2-style tracing, and
+  statistics monitors.
+"""
+
+from repro.des.errors import (
+    SimulationError,
+    SchedulerError,
+    ProcessKilled,
+    Interrupted,
+)
+from repro.des.event import Event, EventState
+from repro.des.scheduler import HeapScheduler, CalendarQueueScheduler
+from repro.des.simulator import Simulator
+from repro.des.process import (
+    Process,
+    Timeout,
+    SimEvent,
+    AnyOf,
+    AllOf,
+    Waitable,
+)
+from repro.des.resource import Resource, Store, Container
+from repro.des.random_streams import StreamRegistry
+from repro.des.trace import TraceRecorder, TraceRecord
+from repro.des.monitor import TallyMonitor, TimeWeightedMonitor, RateMonitor
+from repro.des.realtime import RealTimeRunner
+
+__all__ = [
+    "SimulationError",
+    "SchedulerError",
+    "ProcessKilled",
+    "Interrupted",
+    "Event",
+    "EventState",
+    "HeapScheduler",
+    "CalendarQueueScheduler",
+    "Simulator",
+    "Process",
+    "Timeout",
+    "SimEvent",
+    "AnyOf",
+    "AllOf",
+    "Waitable",
+    "Resource",
+    "Store",
+    "Container",
+    "StreamRegistry",
+    "TraceRecorder",
+    "TraceRecord",
+    "TallyMonitor",
+    "TimeWeightedMonitor",
+    "RateMonitor",
+    "RealTimeRunner",
+]

@@ -1,0 +1,87 @@
+"""Scheduled events.
+
+An :class:`Event` is a callback bound to a simulation time.  Events are
+totally ordered by ``(time, priority, seq)`` — the sequence number makes the
+order of same-time, same-priority events deterministic (FIFO in scheduling
+order), which NS-2 guarantees as well and which the TpWIRE model relies on
+for reproducible frame interleaving.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+
+class EventState(enum.Enum):
+    """Lifecycle of a scheduled event."""
+
+    PENDING = "pending"
+    FIRED = "fired"
+    CANCELLED = "cancelled"
+
+
+class Event:
+    """A callback scheduled at an absolute simulation time.
+
+    Events are created through :meth:`repro.des.simulator.Simulator.at` /
+    ``after`` rather than directly.  They compare by ``(time, priority,
+    seq)`` so they can live in an ordered queue.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "state")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.state = EventState.PENDING
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns ``True`` if it was still pending.
+
+        Cancellation is lazy: the event stays in the queue but is skipped
+        when popped, which keeps cancellation O(1).
+        """
+        if self.state is EventState.PENDING:
+            self.state = EventState.CANCELLED
+            return True
+        return False
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state is EventState.CANCELLED
+
+    @property
+    def pending(self) -> bool:
+        return self.state is EventState.PENDING
+
+    def fire(self) -> None:
+        """Run the callback.  Only the simulator should call this."""
+        if self.state is not EventState.PENDING:
+            return
+        self.state = EventState.FIRED
+        self.fn(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __repr__(self) -> str:
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return (
+            f"Event(t={self.time!r}, prio={self.priority}, seq={self.seq}, "
+            f"fn={name}, state={self.state.value})"
+        )

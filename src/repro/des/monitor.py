@@ -1,0 +1,153 @@
+"""Statistics monitors for simulation measurements.
+
+Three flavours cover everything the evaluation needs:
+
+* :class:`TallyMonitor` — independent observations (latencies, sizes):
+  count / mean / variance (Welford) / min / max / percentiles.
+* :class:`TimeWeightedMonitor` — a piecewise-constant value over time
+  (queue length, bus busy flag): time-weighted mean and integral, hence
+  utilisation.
+* :class:`RateMonitor` — event counting over elapsed time (throughput in
+  frames/s or bytes/s), as reported in Table 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class TallyMonitor:
+    """Streaming statistics over independent observations."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._samples: list[float] = []
+        self.keep_samples = True
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if self.keep_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        variance = self.variance
+        return math.sqrt(variance) if not math.isnan(variance) else math.nan
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) by nearest-rank on kept samples."""
+        if not self._samples:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q={q} outside [0, 100]")
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(q / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"TallyMonitor({self.name!r}, n={self.count}, "
+            f"mean={self.mean:.6g})"
+        )
+
+
+class TimeWeightedMonitor:
+    """Time-weighted statistics of a piecewise-constant signal."""
+
+    def __init__(self, sim, initial: float = 0.0, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value = initial
+        self._last_change = sim.now
+        self._start = sim.now
+        self._integral = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.sim.now
+        self._integral += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+
+    def increment(self, amount: float = 1.0) -> None:
+        self.set(self._value + amount)
+
+    def decrement(self, amount: float = 1.0) -> None:
+        self.set(self._value - amount)
+
+    def integral(self, until: Optional[float] = None) -> float:
+        """∫ value dt from creation until ``until`` (default: now)."""
+        end = self.sim.now if until is None else until
+        return self._integral + self._value * (end - self._last_change)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        end = self.sim.now if until is None else until
+        elapsed = end - self._start
+        if elapsed <= 0:
+            return math.nan
+        return self.integral(until) / elapsed
+
+
+class RateMonitor:
+    """Counts events and amounts; reports rates over elapsed sim time."""
+
+    def __init__(self, sim, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._start = sim.now
+        self.count = 0
+        self.total_amount = 0.0
+
+    def tick(self, amount: float = 1.0) -> None:
+        self.count += 1
+        self.total_amount += amount
+
+    @property
+    def elapsed(self) -> float:
+        return self.sim.now - self._start
+
+    @property
+    def event_rate(self) -> float:
+        """Events per unit time since creation."""
+        return self.count / self.elapsed if self.elapsed > 0 else math.nan
+
+    @property
+    def amount_rate(self) -> float:
+        """Total amount per unit time (e.g. bytes/s)."""
+        return self.total_amount / self.elapsed if self.elapsed > 0 else math.nan
+
+    def reset(self) -> None:
+        self._start = self.sim.now
+        self.count = 0
+        self.total_amount = 0.0

@@ -1,0 +1,274 @@
+"""Generator-based simulation processes and waitables.
+
+A process is a Python generator that yields *waitables*; the kernel resumes
+the generator when the waitable triggers.  This is how sequential agents —
+the TpWIRE master's polling loop, the tuplespace client, traffic sources —
+are written::
+
+    def client(sim, space):
+        yield sim.timeout(1.0)
+        space.write(entry)
+        result = yield space.take_async(template)
+
+Waitables either *succeed* with a value (delivered as the ``yield`` result)
+or *fail* with an exception (raised at the ``yield`` site).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.des.errors import Interrupted, ProcessKilled, SimulationError
+
+
+class Waitable:
+    """One-shot outcome that processes can wait on."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._callbacks: list[Callable[["Waitable"], None]] = []
+        self._triggered = False
+        self._ok = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    # -- outcome ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("waitable has not triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("waitable has not triggered yet")
+        if not self._ok:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Waitable":
+        if self._triggered:
+            raise SimulationError("waitable already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Waitable":
+        if self._triggered:
+            raise SimulationError("waitable already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._triggered = True
+        self._ok = False
+        self._exception = exception
+        self._dispatch()
+        return self
+
+    # -- waiters -----------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Waitable"], None]) -> None:
+        """Run ``callback(self)`` when triggered (immediately if already)."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Waitable"], None]) -> None:
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class SimEvent(Waitable):
+    """A manually-triggered waitable (``sim.event()``)."""
+
+
+class Timeout(Waitable):
+    """Waitable that succeeds after a fixed delay."""
+
+    def __init__(self, sim, delay: float, value: Any = None):
+        super().__init__(sim)
+        self.delay = delay
+        self._event = sim.after(delay, self._expire, value)
+
+    def _expire(self, value: Any) -> None:
+        if not self._triggered:
+            self.succeed(value)
+
+    def cancel(self) -> None:
+        """Cancel the underlying timer (used on interrupt)."""
+        self.sim.cancel(self._event)
+
+
+class Process(Waitable):
+    """A running generator process; also a waitable (join on completion).
+
+    The process's generator return value becomes the waitable's value; an
+    uncaught exception in the generator fails the waitable.  A failure with
+    no registered waiter is re-raised so that errors never pass silently.
+    """
+
+    def __init__(self, sim, generator: Generator, name: Optional[str] = None):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"spawn() needs a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Waitable] = None
+        # First resumption happens as its own event at the current time so
+        # that spawn() returns before any process code runs.
+        sim.after(0.0, self._step, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    # -- driving the generator -------------------------------------------
+
+    def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        try:
+            if throw_exc is not None:
+                target = self._generator.throw(throw_exc)
+            else:
+                target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled:
+            self.succeed(None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must forward any error
+            self._fail_or_raise(exc)
+            return
+        if not isinstance(target, Waitable):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Waitable objects (e.g. sim.timeout(...))"
+            )
+            self._generator.close()
+            self._fail_or_raise(exc)
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_done)
+
+    def _on_wait_done(self, waitable: Waitable) -> None:
+        self._waiting_on = None
+        if waitable.ok:
+            self._step(waitable._value, None)
+        else:
+            self._step(None, waitable.exception)
+
+    def _fail_or_raise(self, exc: BaseException) -> None:
+        if self._callbacks:
+            self.fail(exc)
+        else:
+            self._triggered = True
+            self._ok = False
+            self._exception = exc
+            raise exc
+
+    # -- control -----------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupted` inside the process at its wait point."""
+        if self._triggered:
+            return
+        waited = self._waiting_on
+        if waited is None:
+            raise SimulationError(
+                f"cannot interrupt {self.name!r}: it is not waiting"
+            )
+        waited.remove_callback(self._on_wait_done)
+        if isinstance(waited, Timeout):
+            waited.cancel()
+        self.sim.after(0.0, self._step, None, Interrupted(cause))
+
+    def kill(self) -> None:
+        """Terminate the process; it may catch ``ProcessKilled`` to clean up."""
+        if self._triggered:
+            return
+        waited = self._waiting_on
+        if waited is not None:
+            waited.remove_callback(self._on_wait_done)
+            if isinstance(waited, Timeout):
+                waited.cancel()
+            self.sim.after(0.0, self._step, None, ProcessKilled())
+        else:
+            # Not yet started; close the generator and mark done.
+            self._generator.close()
+            self.succeed(None)
+
+    def __repr__(self) -> str:
+        state = "done" if self._triggered else "alive"
+        return f"Process({self.name!r}, {state})"
+
+
+class AllOf(Waitable):
+    """Succeeds with the list of values once every child has succeeded.
+
+    Fails fast with the first child failure.
+    """
+
+    def __init__(self, sim, waitables: Iterable[Waitable]):
+        super().__init__(sim)
+        self._children = list(waitables)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Waitable) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Waitable):
+    """Succeeds with ``(first_child, value)`` when any child succeeds.
+
+    Fails if the first child to trigger fails.
+    """
+
+    def __init__(self, sim, waitables: Iterable[Waitable]):
+        super().__init__(sim)
+        self._children = list(waitables)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one waitable")
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Waitable) -> None:
+        if self._triggered:
+            return
+        if child.ok:
+            self.succeed((child, child._value))
+        else:
+            self.fail(child.exception)

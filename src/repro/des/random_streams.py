@@ -1,0 +1,39 @@
+"""Deterministic, independent random streams.
+
+Every stochastic component (a traffic source, the error-injection model,
+jittered polling) draws from its own named stream, seeded from the master
+seed and the component name.  Runs are therefore reproducible and adding a
+new random component never perturbs the draws of existing ones — the
+property NS-2 users get from its RNG substream API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class StreamRegistry:
+    """Factory and cache of named ``random.Random`` instances."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = master_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(self._derive_seed(name))
+        return self._streams[name]
+
+    def _derive_seed(self, name: str) -> int:
+        digest = hashlib.sha256(
+            f"{self.master_seed}:{name}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def names(self) -> list[str]:
+        return sorted(self._streams)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

@@ -1,0 +1,196 @@
+"""Pending-event queues.
+
+Two interchangeable implementations are provided, mirroring NS-2's
+scheduler choices:
+
+* :class:`HeapScheduler` — a binary heap (``heapq``), O(log n) insert/pop.
+* :class:`CalendarQueueScheduler` — R. Brown's calendar queue (the NS-2
+  default), amortised O(1) insert/pop when event times are roughly
+  uniformly spread, as they are for periodic frame traffic on a bus.
+
+Both skip lazily-cancelled events on pop.  The choice is a design knob the
+benchmark suite ablates (``benchmarks/bench_ablation_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from repro.des.errors import SchedulerError
+from repro.des.event import Event
+
+
+class HeapScheduler:
+    """Binary-heap pending-event set."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._size = 0  # number of non-cancelled events
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self._size += 1
+
+    def notify_cancelled(self) -> None:
+        """Account for an event cancelled while queued."""
+        self._size -= 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._size -= 1
+                return event
+        raise SchedulerError("pop from an empty scheduler")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class CalendarQueueScheduler:
+    """Calendar queue (Brown 1988), the structure NS-2 uses by default.
+
+    Events are hashed into ``nbuckets`` day-buckets of ``width`` time units;
+    a pop scans from the current bucket forward within the current "year".
+    The queue resizes (doubling / halving buckets, re-estimating the width
+    from a sample of inter-event gaps) when the population crosses
+    thresholds, keeping operations amortised O(1).
+    """
+
+    MIN_BUCKETS = 4
+
+    def __init__(self, nbuckets: int = 8, width: float = 1.0):
+        if nbuckets < 1 or width <= 0:
+            raise SchedulerError("calendar queue needs nbuckets>=1, width>0")
+        self._size = 0
+        self._init_calendar(nbuckets, width, start_time=0.0)
+
+    # -- internal calendar bookkeeping ----------------------------------
+
+    def _init_calendar(self, nbuckets: int, width: float, start_time: float):
+        self._nbuckets = nbuckets
+        self._width = width
+        self._buckets: list[list[Event]] = [[] for _ in range(nbuckets)]
+        self._year = nbuckets * width
+        self._last_time = start_time
+        self._current_bucket = int(start_time / width) % nbuckets
+        self._bucket_top = (int(start_time / width) + 1) * width
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _bucket_index(self, time: float) -> int:
+        return int(time / self._width) % self._nbuckets
+
+    def push(self, event: Event) -> None:
+        bucket = self._buckets[self._bucket_index(event.time)]
+        # Insert keeping each bucket sorted; buckets are short by design.
+        key = event.sort_key
+        lo, hi = 0, len(bucket)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if bucket[mid].sort_key < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        bucket.insert(lo, event)
+        self._size += 1
+        if event.time < self._last_time:
+            # An out-of-order insert (possible after a resize snapshot);
+            # rewind the scan position so pop still finds it.
+            self._rewind_to(event.time)
+        if self._size > 2 * self._nbuckets:
+            self._resize(2 * self._nbuckets)
+
+    def notify_cancelled(self) -> None:
+        self._size -= 1
+
+    def _rewind_to(self, time: float) -> None:
+        self._current_bucket = self._bucket_index(time)
+        self._bucket_top = (int(time / self._width) + 1) * self._width
+        self._last_time = time
+
+    def pop(self) -> Event:
+        event = self._pop_earliest()
+        if event is None:
+            raise SchedulerError("pop from an empty scheduler")
+        self._size -= 1
+        self._last_time = event.time
+        if (
+            self._nbuckets > self.MIN_BUCKETS
+            and self._size < self._nbuckets // 2
+        ):
+            self._resize(max(self.MIN_BUCKETS, self._nbuckets // 2))
+        return event
+
+    def _pop_earliest(self) -> Optional[Event]:
+        if self._size == 0:
+            return None
+        # Scan buckets within the current year; fall back to a direct
+        # minimum search if a full year passes without a hit (events far
+        # in the future).
+        for _ in range(self._nbuckets + 1):
+            bucket = self._buckets[self._current_bucket]
+            while bucket and bucket[0].cancelled:
+                bucket.pop(0)
+            if bucket and bucket[0].time < self._bucket_top:
+                return bucket.pop(0)
+            self._current_bucket = (self._current_bucket + 1) % self._nbuckets
+            self._bucket_top += self._width
+        return self._pop_minimum_direct()
+
+    def _pop_minimum_direct(self) -> Optional[Event]:
+        best_bucket = None
+        best_key = None
+        for bucket in self._buckets:
+            while bucket and bucket[0].cancelled:
+                bucket.pop(0)
+            if bucket and (best_key is None or bucket[0].sort_key < best_key):
+                best_key = bucket[0].sort_key
+                best_bucket = bucket
+        if best_bucket is None:
+            return None
+        event = best_bucket.pop(0)
+        self._rewind_to(event.time)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        if self._size == 0:
+            return None
+        best = None
+        for bucket in self._buckets:
+            while bucket and bucket[0].cancelled:
+                bucket.pop(0)
+            if bucket and (best is None or bucket[0].time < best):
+                best = bucket[0].time
+        return best
+
+    def _resize(self, nbuckets: int) -> None:
+        events = [e for bucket in self._buckets for e in bucket if not e.cancelled]
+        width = self._estimate_width(events)
+        self._init_calendar(nbuckets, width, start_time=self._last_time)
+        self._size = 0
+        for event in events:
+            self.push(event)
+
+    @staticmethod
+    def _estimate_width(events: list[Event]) -> float:
+        """Average gap between adjacent event times (Brown's heuristic)."""
+        if len(events) < 2:
+            return 1.0
+        times = sorted(e.time for e in events)
+        gaps = [b - a for a, b in zip(times, times[1:]) if b > a]
+        if not gaps:
+            return 1.0
+        # Use 3x the mean gap so a bucket holds a few events on average.
+        return 3.0 * sum(gaps) / len(gaps)

@@ -1,0 +1,162 @@
+"""The simulation event loop.
+
+A :class:`Simulator` owns the virtual clock, the pending-event queue, the
+per-component random streams and the trace recorder.  Both callback-style
+scheduling (``sim.after(dt, fn, *args)``) and generator processes
+(``sim.spawn(gen)``) are supported; the network and bus models use
+callbacks for fine-grained frame events and processes for agents with
+sequential behaviour (the master polling loop, the tuplespace client).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.des.errors import SchedulerError, StopSimulation
+from repro.des.event import Event
+from repro.des.random_streams import StreamRegistry
+from repro.des.scheduler import HeapScheduler
+from repro.des.trace import TraceRecorder
+
+
+class Simulator:
+    """Discrete-event simulator with a pluggable scheduler queue.
+
+    Parameters
+    ----------
+    scheduler:
+        Pending-event queue; defaults to a fresh :class:`HeapScheduler`.
+    seed:
+        Master seed for the deterministic per-component random streams
+        available via :meth:`stream`.
+    trace:
+        Optional :class:`TraceRecorder`; a disabled recorder is created
+        when omitted so models can trace unconditionally.
+    """
+
+    def __init__(self, scheduler=None, seed: int = 0, trace: Optional[TraceRecorder] = None):
+        self._queue = scheduler if scheduler is not None else HeapScheduler()
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.streams = StreamRegistry(seed)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self._processes: list = []
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def at(self, time: float, fn: Callable[..., Any], *args, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, self._next_seq(), fn, args, priority)
+        self._queue.push(event)
+        return event
+
+    def after(self, delay: float, fn: Callable[..., Any], *args, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise SchedulerError(f"negative delay {delay}")
+        return self.at(self._now + delay, fn, *args, priority=priority)
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event (lazy removal)."""
+        if event.cancel():
+            self._queue.notify_cancelled()
+            return True
+        return False
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- processes ---------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: Optional[str] = None):
+        """Start a generator-based process; returns its ``Process`` handle."""
+        from repro.des.process import Process
+
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        return process
+
+    def timeout(self, delay: float, value: Any = None):
+        """Waitable that fires after ``delay`` (for use inside processes)."""
+        from repro.des.process import Timeout
+
+        return Timeout(self, delay, value)
+
+    def event(self):
+        """A manually-triggered one-shot waitable."""
+        from repro.des.process import SimEvent
+
+        return SimEvent(self)
+
+    # -- random streams ----------------------------------------------------
+
+    def stream(self, name: str):
+        """Deterministic, independent ``random.Random`` for component ``name``."""
+        return self.streams.stream(name)
+
+    # -- run loop ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single earliest event; ``False`` when the queue is empty."""
+        if len(self._queue) == 0:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        event.fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``stop()``.
+
+        Returns the simulation time at which the run ended.  When ``until``
+        is given the clock is advanced to exactly ``until`` even if the
+        last event fired earlier (matching NS-2's ``$ns at ... halt``).
+        """
+        if self._running:
+            raise SchedulerError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while len(self._queue) > 0:
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+                if self._stopped:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+        except StopSimulation:
+            pass
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Halt the run loop after the current event finishes."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now}, pending={len(self._queue)})"

@@ -1,0 +1,110 @@
+"""NS-2-style event tracing.
+
+NS-2 writes trace lines like ``+ 1.84375 0 2 cbr 210 ...`` (event code,
+time, source, destination, packet type, size, flow fields).  The bus and
+network models emit structured :class:`TraceRecord` objects; the recorder
+can render them in a comparable text format or hand them to analysis code
+as objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+
+#: Conventional event codes (mirrors the NS-2 trace format).
+ENQUEUE = "+"
+DEQUEUE = "-"
+RECEIVE = "r"
+DROP = "d"
+SEND = "s"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    code: str
+    source: str
+    destination: str
+    kind: str
+    size: int = 0
+    info: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Render as an NS-2-like single text line."""
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.info.items()))
+        line = (
+            f"{self.code} {self.time:.6f} {self.source} "
+            f"{self.destination} {self.kind} {self.size}"
+        )
+        return f"{line} {extra}" if extra else line
+
+
+class TraceRecorder:
+    """Collects trace records, optionally filtered and/or written to a file.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled recorder drops records at negligible cost, so models can
+        call :meth:`record` unconditionally.
+    keep:
+        Retain records in memory (for tests and analysis).
+    sink:
+        Optional callable receiving each formatted line (e.g. a file's
+        ``write``).
+    filter:
+        Optional predicate on :class:`TraceRecord`; records failing it are
+        dropped.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        keep: bool = True,
+        sink: Optional[Callable[[str], Any]] = None,
+        filter: Optional[Callable[[TraceRecord], bool]] = None,
+    ):
+        self.enabled = enabled
+        self.keep = keep
+        self.sink = sink
+        self.filter = filter
+        self.records: list[TraceRecord] = []
+
+    def record(
+        self,
+        time: float,
+        code: str,
+        source: str,
+        destination: str,
+        kind: str,
+        size: int = 0,
+        **info,
+    ) -> None:
+        if not self.enabled:
+            return
+        rec = TraceRecord(time, code, source, destination, kind, size, info)
+        if self.filter is not None and not self.filter(rec):
+            return
+        if self.keep:
+            self.records.append(rec)
+        if self.sink is not None:
+            self.sink(rec.format() + "\n")
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def with_code(self, code: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.code == code]
+
+    def between(self, start: float, end: float) -> Iterable[TraceRecord]:
+        return (r for r in self.records if start <= r.time <= end)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

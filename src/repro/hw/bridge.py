@@ -1,0 +1,97 @@
+"""SC1/SC2 co-simulation bridges (Figure 5 of the paper).
+
+The paper connects the board-side C++ client and the host-side JavaSpaces
+server to the NS-2 TpWIRE model through two SystemC processes:
+
+* **SC1** (client side) talks to the client program through gdb's remote
+  serial protocol and to NS-2 through shared memory;
+* **SC2** (server side) talks to the space server through UNIX sockets
+  and to NS-2 through shared memory.
+
+Here each bridge pumps bytes between a pair of
+:class:`~repro.hw.shared_memory.SharedMemoryChannel` buffers and a
+:class:`~repro.tpwire.transport.TransportEndpoint` on the bus.  What sits
+on the far side of the channels — the board ISS via the RSP stub, or the
+space server via its wire protocol — is up to the co-simulation assembly
+in :mod:`repro.cosim`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.hw.shared_memory import SharedMemoryChannel
+from repro.tpwire.transport import TransportEndpoint
+
+
+class ClientBridge:
+    """SC1: bridges a client byte stream onto the bus towards one server."""
+
+    def __init__(
+        self,
+        sim,
+        endpoint: TransportEndpoint,
+        server_node_id: int,
+        chunk_size: int = 64,
+        name: str = "SC1",
+    ):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.server_node_id = server_node_id
+        self.chunk_size = chunk_size
+        self.name = name
+        #: client program -> bus
+        self.to_bus = SharedMemoryChannel(sim, name=f"{name}.to_bus")
+        #: bus -> client program
+        self.from_bus = SharedMemoryChannel(sim, name=f"{name}.from_bus")
+        self.forwarded_bytes = 0
+        self.delivered_bytes = 0
+        endpoint.on_data = self._on_bus_data
+        self._process = sim.spawn(self._pump(), name=f"{name}.pump")
+
+    def _pump(self) -> Generator:
+        while True:
+            yield self.to_bus.wait_readable()
+            data = self.to_bus.read(self.chunk_size)
+            if not data:
+                continue
+            self.endpoint.send(self.server_node_id, data)
+            self.forwarded_bytes += len(data)
+
+    def _on_bus_data(self, src: int, data: bytes, context) -> None:
+        self.delivered_bytes += len(data)
+        self.from_bus.write(data)
+
+
+class ServerBridge:
+    """SC2: bridges the bus to the space server's byte stream.
+
+    Inbound bus data is handed to ``deliver(src_node_id, data)``; the
+    server side replies through :meth:`send_to`.
+    """
+
+    def __init__(
+        self,
+        sim,
+        endpoint: TransportEndpoint,
+        deliver: Optional[Callable[[int, bytes], None]] = None,
+        name: str = "SC2",
+    ):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.name = name
+        self.deliver = deliver
+        self.received_bytes = 0
+        self.sent_bytes = 0
+        endpoint.on_data = self._on_bus_data
+
+    def _on_bus_data(self, src: int, data: bytes, context) -> None:
+        self.received_bytes += len(data)
+        if self.deliver is not None:
+            self.deliver(src, data)
+
+    def send_to(self, node_id: int, data: bytes) -> bool:
+        accepted = self.endpoint.send(node_id, data)
+        if accepted:
+            self.sent_bytes += len(data)
+        return accepted

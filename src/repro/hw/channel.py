@@ -1,0 +1,63 @@
+"""Bounded FIFO channel between hardware processes (``sc_fifo`` analog).
+
+Unlike :class:`repro.des.resource.Store`, this FIFO integrates with the
+delta-cycle world: readers/writers are hardware thread processes that
+yield :func:`wait_change` on the FIFO's level signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.hw.signal import Signal
+
+
+class HwFifo:
+    """Bounded FIFO with a level signal for sensitivity."""
+
+    def __init__(self, kernel, capacity: int = 16, name: str = "fifo"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self._items: deque = deque()
+        #: Signal carrying the occupancy; processes can wait on changes.
+        self.level = Signal(kernel, 0, name=f"{name}.level")
+        self.total_written = 0
+        self.total_read = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def try_write(self, item: Any) -> bool:
+        """Non-blocking write; ``False`` when full."""
+        if self.full:
+            return False
+        self._items.append(item)
+        self.total_written += 1
+        self.level.write(len(self._items))
+        return True
+
+    def try_read(self) -> tuple[bool, Any]:
+        """Non-blocking read; ``(False, None)`` when empty."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self.total_read += 1
+        self.level.write(len(self._items))
+        return True, item
+
+    def peek(self) -> Any:
+        if not self._items:
+            raise IndexError(f"peek on empty fifo {self.name}")
+        return self._items[0]

@@ -1,0 +1,38 @@
+"""Clock generator (``sc_clock`` analog)."""
+
+from __future__ import annotations
+
+from repro.hw.module import HwModule
+from repro.hw.signal import wait_time
+
+
+class Clock(HwModule):
+    """Drives a boolean signal with a fixed period and duty cycle."""
+
+    def __init__(self, kernel, period: float, duty: float = 0.5, name: str = "clk"):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 < duty < 1.0:
+            raise ValueError(f"duty must be in (0, 1), got {duty}")
+        self.period = period
+        self.duty = duty
+        super().__init__(kernel, name)
+
+    def build(self) -> None:
+        self.out = self.signal(0, name="out")
+        self.cycles = 0
+        self.thread(self._toggle)
+
+    def _toggle(self):
+        high = self.period * self.duty
+        low = self.period - high
+        while True:
+            self.out.write(1)
+            self.cycles += 1
+            yield wait_time(high)
+            self.out.write(0)
+            yield wait_time(low)
+
+    @property
+    def frequency(self) -> float:
+        return 1.0 / self.period

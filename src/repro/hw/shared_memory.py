@@ -1,0 +1,72 @@
+"""Shared-memory channel (the UNIX shm segment between SystemC and NS-2).
+
+In the paper's Figure 5 the two SystemC bridge nodes exchange data with
+the NS-2 TpWIRE model through standard UNIX shared memory.  The analog is
+a bounded byte buffer both sides access at simulation time, with a
+waitable so consumers can block until data arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.des.process import SimEvent, Waitable
+
+
+class SharedMemoryChannel:
+    """Bounded unidirectional byte buffer with blocking reads."""
+
+    def __init__(self, sim, capacity: int = 65536, name: str = "shm"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._buffer = bytearray()
+        self._waiters: deque[Waitable] = deque()
+        self.total_written = 0
+        self.total_read = 0
+        self.rejected_writes = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self._buffer)
+
+    def write(self, data: bytes) -> bool:
+        """Append ``data``; ``False`` (and nothing written) when it won't fit."""
+        if not data:
+            return True
+        if len(data) > self.free_space:
+            self.rejected_writes += 1
+            return False
+        self._buffer.extend(data)
+        self.total_written += len(data)
+        self._wake()
+        return True
+
+    def read(self, max_bytes: Optional[int] = None) -> bytes:
+        """Drain up to ``max_bytes`` (default: everything) immediately."""
+        count = len(self._buffer) if max_bytes is None else min(max_bytes, len(self._buffer))
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        self.total_read += len(data)
+        return data
+
+    def wait_readable(self) -> Waitable:
+        """Waitable that succeeds as soon as the buffer is non-empty."""
+        event = SimEvent(self.sim)
+        if self._buffer:
+            event.succeed(len(self._buffer))
+        else:
+            self._waiters.append(event)
+        return event
+
+    def _wake(self) -> None:
+        while self._waiters and self._buffer:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(len(self._buffer))

@@ -1,0 +1,383 @@
+"""Bit-level TpWIRE bus on the delta-cycle kernel.
+
+This is the reproduction's stand-in for the *physical* TpICU/SCM bus of
+Table 3: every start bit, command bit, data bit and CRC bit is serialised
+on signals; slaves repeat frames down the daisy chain with a per-hop
+repeater delay, inject the INT bit into passing RX frames, and run the
+same :class:`~repro.tpwire.slave.TpwireSlave` protocol state machine as
+the packet-level model — so the two models differ *only* in how the wire
+is represented, which is precisely what a validation experiment must
+isolate.
+
+Timing artifacts the packet-level model does not capture (and which the
+Table 3 scaling factor therefore measures):
+
+* per-frame master firmware overhead with jitter (a software master
+  cannot emit back-to-back frames at exactly the protocol gap);
+* start-bit detection quantisation (the master polls the line at half-bit
+  granularity, so RX reception is detected up to half a bit late).
+
+:class:`BitLevelTpwireBus` exposes the same ``execute(frame)`` interface
+as :class:`repro.tpwire.bus.TpwireBus`, so the same
+:class:`~repro.tpwire.master.TpwireMaster` (and everything above it) can
+run on either model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.des.process import Waitable
+from repro.hw.kernel import HwKernel
+from repro.hw.module import HwModule
+from repro.hw.signal import Signal, wait_change, wait_negedge, wait_time
+from repro.tpwire.bus import CycleResult, CycleStatus
+from repro.tpwire.commands import BROADCAST_NODE_ID, Command, split_address
+from repro.tpwire.errors import FrameError, TpwireError
+from repro.tpwire.frames import FRAME_BITS, RxFrame, TxFrame
+from repro.tpwire.slave import TpwireSlave
+
+#: Idle level of a TpWIRE line.
+IDLE = 1
+
+
+@dataclass(frozen=True)
+class PhyTiming:
+    """Bit-level timing parameters."""
+
+    bit_rate: float = 2400.0
+    hop_delay_bits: float = 2.0
+    turnaround_bits: float = 4.0
+    #: Mean master firmware overhead between cycles, in bit periods.
+    fw_overhead_bits: float = 6.0
+    #: Half-width of the uniform firmware jitter, in bit periods.
+    fw_jitter_bits: float = 2.0
+    #: RX polling granularity, in bit periods.
+    poll_bits: float = 0.5
+    #: Multiplier on the expected response time before timing out.
+    timeout_margin: float = 2.0
+
+    def __post_init__(self):
+        if self.bit_rate <= 0:
+            raise ValueError("bit rate must be positive")
+        if self.hop_delay_bits < self.poll_bits:
+            raise ValueError("hop delay must be at least the poll granularity")
+        if self.fw_overhead_bits - self.fw_jitter_bits < 1.0:
+            raise ValueError("firmware overhead must leave >= 1 idle bit")
+
+    @property
+    def bit_period(self) -> float:
+        return 1.0 / self.bit_rate
+
+    def response_timeout(self, chain_length: int) -> float:
+        expected_bits = (
+            FRAME_BITS
+            + self.hop_delay_bits * chain_length
+            + self.turnaround_bits
+            + FRAME_BITS
+            + self.hop_delay_bits * chain_length
+        )
+        return expected_bits * self.bit_period * self.timeout_margin
+
+
+class SlavePhy(HwModule):
+    """Bit-level line interface of one slave.
+
+    Owns the downstream receiver/repeater and the upstream
+    repeater/injector; protocol decisions are delegated to the shared
+    :class:`TpwireSlave` state machine.
+    """
+
+    def __init__(
+        self,
+        kernel: HwKernel,
+        protocol: TpwireSlave,
+        timing: PhyTiming,
+        down_in: Signal,
+        down_out: Signal,
+        up_in: Signal,
+        up_out: Signal,
+        name: str = "",
+    ):
+        self.protocol = protocol
+        self.timing = timing
+        self.down_in = down_in
+        self.down_out = down_out
+        self.up_in = up_in
+        self.up_out = up_out
+        self.frames_seen = 0
+        self.frames_executed = 0
+        self.crc_drops = 0
+        super().__init__(kernel, name or f"phy.{protocol.name}")
+
+    def build(self) -> None:
+        self.thread(self._downstream)
+        self.thread(self._upstream)
+
+    # -- downstream: receive, repeat, execute --------------------------------
+
+    def _downstream(self):
+        bp = self.timing.bit_period
+        hop = self.timing.hop_delay_bits * bp
+        sim = self.kernel.sim
+        while True:
+            yield wait_negedge(self.down_in)
+            # Start-bit edge: sample each bit slot at its midpoint and
+            # forward it so it appears on down_out hop_delay after its
+            # slot boundary.
+            bits = []
+            yield wait_time(0.5 * bp)
+            for index in range(FRAME_BITS):
+                bit = self.down_in.read()
+                bits.append(bit)
+                sim.after(hop - 0.5 * bp, self.down_out.write, bit)
+                if index < FRAME_BITS - 1:
+                    yield wait_time(bp)
+            sim.after(hop + 0.5 * bp, self.down_out.write, IDLE)
+            self.frames_seen += 1
+            try:
+                frame = TxFrame.from_bits(bits)
+            except FrameError:
+                self.crc_drops += 1
+                continue
+            now = sim.now
+            self.protocol.observe_tx(frame, now)
+            reply = self.protocol.execute(frame, now)
+            if reply is None:
+                continue
+            self.frames_executed += 1
+            yield wait_time(self.timing.turnaround_bits * bp)
+            yield from self._drive_up(reply.to_bits())
+
+    def _drive_up(self, bits):
+        bp = self.timing.bit_period
+        for bit in bits:
+            self.up_out.write(bit)
+            yield wait_time(bp)
+        self.up_out.write(IDLE)
+
+    # -- upstream: repeat replies from deeper slaves, inject INT ----------------
+
+    def _upstream(self):
+        bp = self.timing.bit_period
+        hop = self.timing.hop_delay_bits * bp
+        sim = self.kernel.sim
+        while True:
+            yield wait_negedge(self.up_in)
+            yield wait_time(0.5 * bp)
+            for index in range(FRAME_BITS):
+                bit = self.up_in.read()
+                if index == 1 and self.protocol.interrupt_pending:
+                    # Sec. 3.1: the INT bit is set as the RX frame passes
+                    # through a slave with a pending interrupt.
+                    bit = 1
+                sim.after(hop - 0.5 * bp, self.up_out.write, bit)
+                if index < FRAME_BITS - 1:
+                    yield wait_time(bp)
+            sim.after(hop + 0.5 * bp, self.up_out.write, IDLE)
+
+
+class MasterPhy(HwModule):
+    """Bit-level master port: drives TX frames, samples RX frames."""
+
+    def __init__(
+        self,
+        kernel: HwKernel,
+        timing: PhyTiming,
+        down_out: Signal,
+        up_in: Signal,
+        chain_length: int,
+        name: str = "phy.master",
+    ):
+        self.timing = timing
+        self.down_out = down_out
+        self.up_in = up_in
+        self.chain_length = chain_length
+        self._queue: deque = deque()
+        self._rng = kernel.sim.stream("hw.master-fw")
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.timeouts = 0
+        self.crc_errors = 0
+        super().__init__(kernel, name)
+
+    def build(self) -> None:
+        self._kick = self.signal(0, name="kick")
+        self.thread(self._run)
+
+    # -- public request API ----------------------------------------------------
+
+    def submit(self, frame: TxFrame, expect_reply: bool, done: Waitable) -> None:
+        self._queue.append((frame, expect_reply, done))
+        self._kick.write(1 - self._kick.value)
+
+    # -- transmit/receive engine -------------------------------------------------
+
+    def _run(self):
+        bp = self.timing.bit_period
+        sim = self.kernel.sim
+        while True:
+            if not self._queue:
+                yield wait_change(self._kick)
+                continue
+            frame, expect_reply, done = self._queue.popleft()
+            # Master firmware overhead before each cycle (with jitter).
+            jitter = self._rng.uniform(
+                -self.timing.fw_jitter_bits, self.timing.fw_jitter_bits
+            )
+            yield wait_time((self.timing.fw_overhead_bits + jitter) * bp)
+            self.tx_frames += 1
+            for bit in frame.to_bits():
+                self.down_out.write(bit)
+                yield wait_time(bp)
+            self.down_out.write(IDLE)
+            if not expect_reply:
+                # Broadcast: let the frame flush through the chain.
+                tail = self.timing.hop_delay_bits * self.chain_length
+                yield wait_time(tail * bp)
+                done.succeed(CycleResult(CycleStatus.BROADCAST))
+                continue
+            result = yield from self._receive()
+            done.succeed(result)
+
+    def _receive(self):
+        bp = self.timing.bit_period
+        sim = self.kernel.sim
+        deadline = sim.now + self.timing.response_timeout(self.chain_length)
+        # Poll for the start bit at half-bit granularity (quantisation
+        # that the packet-level model does not have).
+        while self.up_in.read() == IDLE:
+            if sim.now >= deadline:
+                self.timeouts += 1
+                return CycleResult(CycleStatus.TIMEOUT)
+            yield wait_time(self.timing.poll_bits * bp)
+        # Offset sampling a quarter bit so samples never coincide with a
+        # bit boundary (detection lags the edge by < poll_bits).
+        yield wait_time(0.25 * bp)
+        bits = [0]
+        for _ in range(FRAME_BITS - 1):
+            yield wait_time(bp)
+            bits.append(self.up_in.read())
+        try:
+            rx = RxFrame.from_bits(bits)
+        except FrameError:
+            self.crc_errors += 1
+            return CycleResult(CycleStatus.CRC_ERROR)
+        self.rx_frames += 1
+        return CycleResult(CycleStatus.OK, rx)
+
+
+class BitLevelTpwireBus:
+    """Bit-accurate TpWIRE bus with the packet-level bus's interface.
+
+    Build it with a list of protocol slaves; it wires up the PHY chain::
+
+        hwbus = BitLevelTpwireBus(sim, kernel, timing, slaves=[s1, s2])
+        master = TpwireMaster(sim, hwbus)   # same master as packet level
+    """
+
+    def __init__(
+        self,
+        sim,
+        kernel: HwKernel,
+        timing: Optional[PhyTiming] = None,
+        name: str = "hw-tpwire",
+    ):
+        self.sim = sim
+        self.kernel = kernel
+        self.timing = timing if timing is not None else PhyTiming()
+        self.name = name
+        self.slaves: list[TpwireSlave] = []
+        self.slave_phys: list[SlavePhy] = []
+        self._by_node_id: dict[int, TpwireSlave] = {}
+        self._down_head = Signal(kernel, IDLE, name=f"{name}.down0")
+        self._up_head = Signal(kernel, IDLE, name=f"{name}.up0")
+        self.master_phy: Optional[MasterPhy] = None
+        self._down_tail = self._down_head
+        self._up_tail = self._up_head
+        self.cycles = 0
+
+    # -- construction -------------------------------------------------------
+
+    def attach_slave(self, slave: TpwireSlave) -> None:
+        if self.master_phy is not None:
+            raise TpwireError("cannot attach slaves after finalize()")
+        if slave.node_id in self._by_node_id:
+            raise TpwireError(f"duplicate node id {slave.node_id}")
+        index = len(self.slaves)
+        down_next = Signal(self.kernel, IDLE, name=f"{self.name}.down{index + 1}")
+        up_next = Signal(self.kernel, IDLE, name=f"{self.name}.up{index + 1}")
+        phy = SlavePhy(
+            self.kernel,
+            slave,
+            self.timing,
+            down_in=self._down_tail,
+            down_out=down_next,
+            up_in=up_next,
+            up_out=self._up_tail,
+        )
+        self.slaves.append(slave)
+        self.slave_phys.append(phy)
+        self._by_node_id[slave.node_id] = slave
+        self._down_tail = down_next
+        self._up_tail = up_next
+
+    def finalize(self) -> None:
+        """Create the master PHY once the chain is complete."""
+        if self.master_phy is not None:
+            return
+        self.master_phy = MasterPhy(
+            self.kernel,
+            self.timing,
+            down_out=self._down_head,
+            up_in=self._up_head,
+            chain_length=len(self.slaves),
+            name=f"{self.name}.master",
+        )
+
+    # -- TpwireBus-compatible interface ---------------------------------------
+
+    def execute(self, frame: TxFrame, expect_reply: bool = True) -> Waitable:
+        if self.master_phy is None:
+            self.finalize()
+        done = Waitable(self.sim)
+        if frame.cmd is Command.RESET:
+            expect_reply = False
+        elif frame.cmd is Command.SELECT:
+            node_id, _ = split_address(frame.data)
+            expect_reply = expect_reply and node_id != BROADCAST_NODE_ID
+        self.cycles += 1
+        self.master_phy.submit(frame, expect_reply, done)
+        return done
+
+    def slave_by_id(self, node_id: int) -> TpwireSlave:
+        try:
+            return self._by_node_id[node_id]
+        except KeyError:
+            from repro.tpwire.errors import NoSuchNode
+            raise NoSuchNode(f"no slave with node id {node_id} on {self.name}")
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.slaves)
+
+    @property
+    def tx_frames(self) -> int:
+        return self.master_phy.tx_frames if self.master_phy else 0
+
+    @property
+    def rx_frames(self) -> int:
+        return self.master_phy.rx_frames if self.master_phy else 0
+
+    @property
+    def timeouts(self) -> int:
+        return self.master_phy.timeouts if self.master_phy else 0
+
+    @property
+    def crc_errors(self) -> int:
+        return self.master_phy.crc_errors if self.master_phy else 0
+
+    def __repr__(self) -> str:
+        return f"BitLevelTpwireBus({self.name!r}, slaves={len(self.slaves)})"

@@ -1,0 +1,46 @@
+"""Network layer on top of the event kernel (NS-2 node/link/agent analog).
+
+The paper models TpWIRE inside NS-2 by writing a new agent class and
+connecting nodes with links carrying the TpWIRE bandwidth and real-time
+parameters.  This package provides those NS-2 building blocks:
+
+* :class:`~repro.net.packet.Packet` — typed packets with headers,
+* :class:`~repro.net.node.Node` — addressable packet endpoints,
+* :class:`~repro.net.link.Link` — bandwidth/delay links with drop-tail
+  queues (plus a duplex convenience wrapper),
+* :class:`~repro.net.agent.NetAgent` — protocol agents attached to nodes,
+* traffic generators (:class:`~repro.net.traffic.CBRSource` — the paper's
+  load generator — plus exponential on/off, Poisson, and trace-driven),
+* :class:`~repro.net.sink.SinkAgent` — receivers with latency/throughput
+  statistics,
+* topology builders (chains/stars and the paper's daisy-chain configs).
+"""
+
+from repro.net.packet import Packet
+from repro.net.node import Node
+from repro.net.link import Link, DuplexLink
+from repro.net.agent import NetAgent, LoopbackAgent
+from repro.net.traffic import (
+    CBRSource,
+    ExponentialOnOffSource,
+    PoissonSource,
+    TraceDrivenSource,
+)
+from repro.net.sink import SinkAgent
+from repro.net.topology import chain_topology, star_topology
+
+__all__ = [
+    "Packet",
+    "Node",
+    "Link",
+    "DuplexLink",
+    "NetAgent",
+    "LoopbackAgent",
+    "CBRSource",
+    "ExponentialOnOffSource",
+    "PoissonSource",
+    "TraceDrivenSource",
+    "SinkAgent",
+    "chain_topology",
+    "star_topology",
+]

@@ -1,0 +1,105 @@
+"""Protocol agents (the NS-2 ``Agent`` analog).
+
+An agent lives on a node, builds packets for the traffic its application
+(or traffic generator) asks it to send, and handles packets delivered to
+its node/port.  The TpWIRE agent of the paper is implemented in
+:mod:`repro.tpwire.agent` on top of this base class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+
+
+class NetAgent:
+    """Base agent: addressing, default send path over node links."""
+
+    #: packet kind used by ``send_payload`` (subclasses override)
+    packet_kind = "data"
+
+    def __init__(self, sim, name: str = ""):
+        self.sim = sim
+        self.name = name or type(self).__name__
+        self.node: Optional[Node] = None
+        self.port: int = 0
+        self.peer_node: Optional[Node] = None
+        self.peer_port: int = 0
+        self.sent_packets = 0
+        self.sent_bytes = 0
+
+    def connect(self, peer_node: Node, peer_port: int = 0) -> None:
+        """Set the default destination (NS-2 ``connect``)."""
+        self.peer_node = peer_node
+        self.peer_port = peer_port
+
+    # -- sending -----------------------------------------------------------
+
+    def send_payload(self, size: int, payload=None, **headers) -> Optional[Packet]:
+        """Build and send a packet of ``size`` bytes to the connected peer.
+
+        Traffic generators call this.  Returns the packet, or ``None`` if
+        the agent is not attached/connected (misconfiguration raises).
+        """
+        if self.node is None:
+            raise RuntimeError(f"agent {self.name} is not attached to a node")
+        if self.peer_node is None:
+            raise RuntimeError(f"agent {self.name} is not connected to a peer")
+        packet = Packet(
+            self.packet_kind,
+            size,
+            src=self.node.name,
+            dst=self.peer_node.name,
+            payload=payload,
+            created_at=self.sim.now,
+            port=self.peer_port,
+            **headers,
+        )
+        self.transmit(packet)
+        self.sent_packets += 1
+        self.sent_bytes += size
+        return packet
+
+    def transmit(self, packet: Packet) -> None:
+        """Push a packet towards its destination over the node's link."""
+        link = self.node.link_to(self.peer_node)
+        if link is None:
+            raise RuntimeError(
+                f"no link from {self.node.name} to {self.peer_node.name}"
+            )
+        link.send(packet)
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(self, packet: Packet) -> None:
+        """Handle a packet delivered to this agent (override)."""
+
+
+class LoopbackAgent(NetAgent):
+    """Agent whose transmissions are delivered straight back to itself.
+
+    Needs no node or peer; used in unit tests to exercise traffic
+    generators without building a topology.
+    """
+
+    def __init__(self, sim, name: str = "loopback"):
+        super().__init__(sim, name)
+        self.received: list[Packet] = []
+
+    def send_payload(self, size: int, payload=None, **headers) -> Packet:
+        packet = Packet(
+            self.packet_kind, size, src=self.name, dst=self.name,
+            payload=payload, created_at=self.sim.now, **headers,
+        )
+        self.transmit(packet)
+        self.sent_packets += 1
+        self.sent_bytes += size
+        return packet
+
+    def transmit(self, packet: Packet) -> None:
+        self.sim.after(0.0, self.recv, packet)
+
+    def recv(self, packet: Packet) -> None:
+        self.received.append(packet)

@@ -1,0 +1,74 @@
+"""Packets exchanged by network agents."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+_uid_counter = itertools.count(1)
+
+
+class Packet:
+    """A network packet: kind, size, addressing and free-form headers.
+
+    ``size`` is in bytes (NS-2 convention); serialization delay on a link
+    is ``size * 8 / bandwidth_bps``.
+    """
+
+    __slots__ = (
+        "uid",
+        "kind",
+        "size",
+        "src",
+        "dst",
+        "payload",
+        "headers",
+        "created_at",
+        "hops",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        size: int,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        payload: Any = None,
+        created_at: float = 0.0,
+        **headers,
+    ):
+        if size < 0:
+            raise ValueError(f"packet size must be >= 0, got {size}")
+        self.uid = next(_uid_counter)
+        self.kind = kind
+        self.size = size
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.headers = headers
+        self.created_at = created_at
+        self.hops = 0
+
+    @property
+    def bits(self) -> int:
+        return self.size * 8
+
+    def copy(self) -> "Packet":
+        """A fresh packet (new uid) with identical contents."""
+        pkt = Packet(
+            self.kind,
+            self.size,
+            self.src,
+            self.dst,
+            self.payload,
+            self.created_at,
+            **dict(self.headers),
+        )
+        pkt.hops = self.hops
+        return pkt
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.uid} {self.kind} {self.size}B "
+            f"{self.src}->{self.dst})"
+        )

@@ -1,0 +1,41 @@
+"""Receiving agents with statistics (the paper's "Receiver" nodes)."""
+
+from __future__ import annotations
+
+from repro.des.monitor import RateMonitor, TallyMonitor
+from repro.net.agent import NetAgent
+from repro.net.packet import Packet
+
+
+class SinkAgent(NetAgent):
+    """Counts received packets/bytes and records end-to-end latency."""
+
+    def __init__(self, sim, name: str = "sink"):
+        super().__init__(sim, name)
+        self.received_packets = 0
+        self.received_bytes = 0
+        self.latency = TallyMonitor(name=f"{name}.latency")
+        self.throughput = RateMonitor(sim, name=f"{name}.throughput")
+        self.first_rx_time = None
+        self.last_rx_time = None
+
+    def recv(self, packet: Packet) -> None:
+        now = self.sim.now
+        self.received_packets += 1
+        self.received_bytes += packet.size
+        self.latency.observe(now - packet.created_at)
+        self.throughput.tick(packet.size)
+        if self.first_rx_time is None:
+            self.first_rx_time = now
+        self.last_rx_time = now
+
+    @property
+    def goodput_bytes_per_s(self) -> float:
+        """Bytes/s between the first and last reception."""
+        if (
+            self.first_rx_time is None
+            or self.last_rx_time is None
+            or self.last_rx_time <= self.first_rx_time
+        ):
+            return float("nan")
+        return self.received_bytes / (self.last_rx_time - self.first_rx_time)

@@ -1,0 +1,132 @@
+"""Byte streams over packet links (the TCP-over-Ethernet alternative).
+
+Sec. 4.3 weighs connecting the boards over "a TCP-like network" instead
+of TpWIRE: technically easy (sockets), but it "may not be the best
+choice" — it needs active devices (switches) and full cabling.  These
+classes model that alternative so the trade-off can be *measured*:
+
+* :class:`SwitchAgent` — an active switch: forwards packets between its
+  star links by destination name;
+* :class:`StreamAgent` — a TCP-ish endpoint: segments a byte stream into
+  MSS-sized packets with per-packet protocol overhead, reassembles in
+  order on the far side.
+
+Loss/retransmission are not modelled (links are reliable here); the
+relevant comparison dimensions are bandwidth, per-packet overhead and
+infrastructure cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.agent import NetAgent
+from repro.net.node import Node
+from repro.net.packet import Packet
+
+#: Ethernet + IP + TCP header bytes per segment.
+TCP_OVERHEAD = 58
+
+#: Default maximum segment size (Ethernet MTU 1500 - 40 IP/TCP).
+DEFAULT_MSS = 1460
+
+
+class SwitchAgent(NetAgent):
+    """Active switching device at the hub of a star."""
+
+    packet_kind = "tcp"
+
+    def __init__(self, sim, name: str = "switch"):
+        super().__init__(sim, name)
+        self.forwarded_packets = 0
+        self.forwarded_bytes = 0
+        self.unroutable = 0
+
+    def recv(self, packet: Packet) -> None:
+        destination = packet.headers.get("final_dst")
+        target = None
+        for link in self.node._links:
+            if link.dst_node.name == destination:
+                target = link
+                break
+        if target is None:
+            self.unroutable += 1
+            return
+        self.forwarded_packets += 1
+        self.forwarded_bytes += packet.size
+        target.send(packet)
+
+
+class StreamAgent(NetAgent):
+    """Ordered byte-stream endpoint over a star of links."""
+
+    packet_kind = "tcp"
+
+    def __init__(
+        self,
+        sim,
+        hub: Node,
+        mss: int = DEFAULT_MSS,
+        name: str = "stream",
+    ):
+        super().__init__(sim, name)
+        if mss < 1:
+            raise ValueError(f"mss must be >= 1, got {mss}")
+        self.hub = hub
+        self.mss = mss
+        self.on_data: Optional[Callable[[str, bytes], None]] = None
+        self.received_bytes = 0
+
+    def send_stream(self, destination: str, data: bytes) -> int:
+        """Segment ``data`` towards ``destination``; returns wire bytes."""
+        if not data:
+            raise ValueError("cannot send an empty stream chunk")
+        link = self.node.link_to(self.hub)
+        if link is None:
+            raise RuntimeError(f"{self.name} has no uplink to the switch")
+        wire_total = 0
+        for offset in range(0, len(data), self.mss):
+            chunk = data[offset : offset + self.mss]
+            packet = Packet(
+                self.packet_kind,
+                len(chunk) + TCP_OVERHEAD,
+                src=self.node.name,
+                dst=destination,
+                payload=chunk,
+                created_at=self.sim.now,
+                final_dst=destination,
+            )
+            link.send(packet)
+            wire_total += packet.size
+            self.sent_packets += 1
+        self.sent_bytes += len(data)
+        return wire_total
+
+    def recv(self, packet: Packet) -> None:
+        payload = packet.payload or b""
+        self.received_bytes += len(payload)
+        if self.on_data is not None:
+            self.on_data(packet.src, payload)
+
+
+def build_switched_star(
+    sim,
+    leaf_names: list[str],
+    bandwidth_bps: float = 10_000_000.0,
+    delay: float = 50e-6,
+    mss: int = DEFAULT_MSS,
+) -> tuple[SwitchAgent, dict[str, StreamAgent]]:
+    """A switch plus one :class:`StreamAgent` per named leaf."""
+    from repro.net.link import DuplexLink
+
+    hub = Node(sim, "switch")
+    switch = SwitchAgent(sim)
+    hub.attach(switch)
+    agents: dict[str, StreamAgent] = {}
+    for name in leaf_names:
+        leaf = Node(sim, name)
+        DuplexLink(sim, hub, leaf, bandwidth_bps, delay)
+        agent = StreamAgent(sim, hub, mss=mss, name=f"stream.{name}")
+        leaf.attach(agent)
+        agents[name] = agent
+    return switch, agents

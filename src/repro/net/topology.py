@@ -1,0 +1,53 @@
+"""Topology builders.
+
+Generic chains and stars for the network layer; the TpWIRE daisy chain of
+the paper (Figures 2, 6 and 7) has its own builder in
+:mod:`repro.tpwire.bus` because its timing is bus-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.link import DuplexLink
+from repro.net.node import Node
+
+
+def chain_topology(
+    sim,
+    n_nodes: int,
+    bandwidth_bps: float,
+    delay: float = 0.0,
+    queue_limit: Optional[int] = None,
+    name_prefix: str = "n",
+) -> tuple[list[Node], list[DuplexLink]]:
+    """``n_nodes`` nodes connected in a line with duplex links."""
+    if n_nodes < 1:
+        raise ValueError(f"need at least one node, got {n_nodes}")
+    nodes = [Node(sim, f"{name_prefix}{i}") for i in range(n_nodes)]
+    links = [
+        DuplexLink(sim, a, b, bandwidth_bps, delay, queue_limit)
+        for a, b in zip(nodes, nodes[1:])
+    ]
+    return nodes, links
+
+
+def star_topology(
+    sim,
+    n_leaves: int,
+    bandwidth_bps: float,
+    delay: float = 0.0,
+    queue_limit: Optional[int] = None,
+    hub_name: str = "hub",
+    leaf_prefix: str = "leaf",
+) -> tuple[Node, list[Node], list[DuplexLink]]:
+    """A hub with ``n_leaves`` leaves (the master/slave logical shape)."""
+    if n_leaves < 1:
+        raise ValueError(f"need at least one leaf, got {n_leaves}")
+    hub = Node(sim, hub_name)
+    leaves = [Node(sim, f"{leaf_prefix}{i}") for i in range(n_leaves)]
+    links = [
+        DuplexLink(sim, hub, leaf, bandwidth_bps, delay, queue_limit)
+        for leaf in leaves
+    ]
+    return hub, leaves, links

@@ -1,0 +1,267 @@
+"""Packet-level TpWIRE bus: the NS-2 TpWIRE model of the paper.
+
+One :class:`TpwireBus` is a single line group (1-wire, or an n-wire
+parallel-data group) connecting the master to a daisy chain of slaves.
+A *communication cycle* (Sec. 3.1) is simulated as timed events:
+
+1. the master's TX frame propagates down the chain, reaching the slave at
+   depth *h* after ``frame_duration + h * hop_delay``;
+2. each slave it passes observes it (reset watchdog) and the selected
+   slave executes it;
+3. after the turnaround time the responder's RX frame travels back up,
+   collecting the INT bit from any slave with a pending interrupt;
+4. the master either receives the RX frame or times out.
+
+The bus serialises cycles (single line); concurrent callers queue on an
+internal capacity-1 resource.  Frame corruption is injected by a
+:class:`BitErrorModel` — a corrupted TX is not executed by anyone (and does
+not feed watchdogs); a corrupted RX surfaces as a CRC error at the master.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.des.monitor import RateMonitor, TimeWeightedMonitor
+from repro.des.process import Waitable
+from repro.tpwire.commands import BROADCAST_NODE_ID, Command, split_address
+from repro.tpwire.errors import NoSuchNode, TpwireError
+from repro.tpwire.frames import RxFrame, TxFrame
+from repro.tpwire.slave import TpwireSlave
+from repro.tpwire.timing import BusTiming
+
+
+class CycleStatus(enum.Enum):
+    OK = "ok"                #: RX frame received and valid
+    TIMEOUT = "timeout"      #: nobody replied within the expected period
+    CRC_ERROR = "crc-error"  #: the master received a corrupted RX frame
+    BROADCAST = "broadcast"  #: broadcast cycle, no reply expected
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Outcome of one communication cycle."""
+
+    status: CycleStatus
+    rx: Optional[RxFrame] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (CycleStatus.OK, CycleStatus.BROADCAST)
+
+
+class BitErrorModel:
+    """Per-frame corruption probabilities, drawn from a named RNG stream."""
+
+    def __init__(self, sim, p_tx: float = 0.0, p_rx: float = 0.0, stream: str = "tpwire.errors"):
+        for name, p in (("p_tx", p_tx), ("p_rx", p_rx)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        self.p_tx = p_tx
+        self.p_rx = p_rx
+        self._rng = sim.stream(stream)
+        self.corrupted_tx = 0
+        self.corrupted_rx = 0
+
+    def corrupt_tx(self) -> bool:
+        if self.p_tx and self._rng.random() < self.p_tx:
+            self.corrupted_tx += 1
+            return True
+        return False
+
+    def corrupt_rx(self) -> bool:
+        if self.p_rx and self._rng.random() < self.p_rx:
+            self.corrupted_rx += 1
+            return True
+        return False
+
+
+class TpwireBus:
+    """A daisy chain of slaves behind one master port."""
+
+    def __init__(
+        self,
+        sim,
+        timing: Optional[BusTiming] = None,
+        error_model: Optional[BitErrorModel] = None,
+        name: str = "tpwire",
+    ):
+        self.sim = sim
+        self.timing = timing if timing is not None else BusTiming()
+        self.error_model = error_model
+        self.name = name
+        #: Slaves in chain order: index 0 is closest to the master
+        #: (depth/hops = index + 1).
+        self.slaves: list[TpwireSlave] = []
+        self._by_node_id: dict[int, TpwireSlave] = {}
+        self._busy = False
+        self._pending: list[tuple[TxFrame, Waitable]] = []
+        # -- statistics
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.timeouts = 0
+        self.crc_errors = 0
+        self.cycles = 0
+        self.utilization = TimeWeightedMonitor(sim, name=f"{name}.util")
+        self.frame_rate = RateMonitor(sim, name=f"{name}.frames")
+
+    # -- construction ------------------------------------------------------
+
+    def attach_slave(self, slave: TpwireSlave) -> None:
+        """Append a slave at the far end of the daisy chain."""
+        if slave.node_id in self._by_node_id:
+            raise TpwireError(f"duplicate node id {slave.node_id}")
+        self.slaves.append(slave)
+        self._by_node_id[slave.node_id] = slave
+
+    def slave_by_id(self, node_id: int) -> TpwireSlave:
+        try:
+            return self._by_node_id[node_id]
+        except KeyError:
+            raise NoSuchNode(f"no slave with node id {node_id} on {self.name}")
+
+    def hops_of(self, node_id: int) -> int:
+        """Chain depth of a node (1 = first slave)."""
+        slave = self.slave_by_id(node_id)
+        return self.slaves.index(slave) + 1
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.slaves)
+
+    # -- cycle execution ------------------------------------------------------
+
+    def execute(self, frame: TxFrame, expect_reply: bool = True) -> Waitable:
+        """Run one communication cycle; succeeds with a :class:`CycleResult`.
+
+        Cycles are serialised: if the line is busy the cycle queues
+        (FIFO).  ``expect_reply=False`` marks fire-and-forget frames (DMA
+        burst payload): the cycle lasts only the TX leg and completes with
+        :attr:`CycleStatus.BROADCAST` regardless of any slave reply.
+        """
+        done = Waitable(self.sim)
+        if self._busy:
+            self._pending.append((frame, expect_reply, done))
+        else:
+            self._start_cycle(frame, expect_reply, done)
+        return done
+
+    def _start_cycle(self, frame: TxFrame, expect_reply: bool, done: Waitable) -> None:
+        self._busy = True
+        self.utilization.set(1.0)
+        self.cycles += 1
+        self.tx_frames += 1
+        self.frame_rate.tick()
+        self.sim.trace.record(
+            self.sim.now, "s", "master", self.name, "tpwire-tx",
+            2, cmd=frame.cmd.name, data=frame.data,
+        )
+        corrupted = (
+            self.error_model.corrupt_tx() if self.error_model is not None else False
+        )
+        target = self._frame_target(frame)
+        responder = None
+        if not corrupted:
+            self._propagate_tx(frame)
+            responder = self._find_responder(frame)
+        if (
+            target == BROADCAST_NODE_ID
+            or frame.cmd is Command.RESET
+            or not expect_reply
+        ):
+            # No reply expected: the cycle lasts the broadcast duration
+            # (execution on the slaves has already been applied above).
+            duration = self.timing.broadcast_duration(self.chain_length)
+            self.sim.after(
+                duration, self._finish_cycle, done,
+                CycleResult(CycleStatus.BROADCAST),
+            )
+            return
+        if responder is None:
+            timeout = self.timing.response_timeout(self.chain_length)
+            self.timeouts += 1
+            self.sim.after(
+                timeout, self._finish_cycle, done,
+                CycleResult(CycleStatus.TIMEOUT),
+            )
+            return
+        rx_frame, hops = responder
+        duration = self.timing.exchange_duration(hops)
+        rx_corrupted = (
+            self.error_model.corrupt_rx() if self.error_model is not None else False
+        )
+        if rx_corrupted:
+            self.crc_errors += 1
+            result = CycleResult(CycleStatus.CRC_ERROR)
+        else:
+            self.rx_frames += 1
+            self.frame_rate.tick()
+            result = CycleResult(CycleStatus.OK, rx_frame)
+        self.sim.after(duration, self._finish_cycle, done, result)
+
+    def _finish_cycle(self, done: Waitable, result: CycleResult) -> None:
+        self.sim.trace.record(
+            self.sim.now, "r", self.name, "master", "tpwire-rx",
+            2 if result.rx is not None else 0, status=result.status.value,
+        )
+        done.succeed(result)
+        if self._pending:
+            frame, expect_reply, next_done = self._pending.pop(0)
+            self._start_cycle(frame, expect_reply, next_done)
+        else:
+            self._busy = False
+            self.utilization.set(0.0)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _frame_target(frame: TxFrame) -> Optional[int]:
+        """Node id addressed by a SELECT frame, else ``None``."""
+        if frame.cmd is Command.SELECT:
+            node_id, _ = split_address(frame.data)
+            return node_id
+        return None
+
+    def _propagate_tx(self, frame: TxFrame) -> None:
+        """Deliver the frame's watchdog observation to every slave.
+
+        Observation happens at each slave's arrival time; state-changing
+        execution is resolved in :meth:`_find_responder` at the arrival
+        time of the addressed slave.
+        """
+        now = self.sim.now
+        for index, slave in enumerate(self.slaves):
+            arrival = self.timing.tx_arrival_delay(index + 1)
+            self.sim.at(now + arrival, slave.observe_tx, frame, now + arrival)
+
+    def _find_responder(self, frame: TxFrame) -> Optional[tuple[RxFrame, int]]:
+        """Execute the frame on the chain; return ``(rx, hops)`` if a slave
+        replies.
+
+        Execution is evaluated immediately (state updates are applied in
+        chain order) while the returned hops value carries the timing.
+        SELECT frames update every slave's selection state; other commands
+        execute on whichever slave considers itself selected.
+        """
+        now = self.sim.now
+        responder: Optional[tuple[RxFrame, int]] = None
+        for index, slave in enumerate(self.slaves):
+            arrival = now + self.timing.tx_arrival_delay(index + 1)
+            reply = slave.execute(frame, arrival)
+            if reply is not None and responder is None:
+                responder = (reply, index + 1)
+        if responder is None:
+            return None
+        rx_frame, hops = responder
+        # INT piggyback: slaves between the responder and the master set
+        # the INT bit while the RX frame passes through them.
+        for slave in self.slaves[: hops - 1]:
+            if slave.interrupt_pending:
+                rx_frame = rx_frame.with_int()
+                break
+        return rx_frame, hops
+
+    def __repr__(self) -> str:
+        return f"TpwireBus({self.name!r}, slaves={len(self.slaves)})"

@@ -1,0 +1,111 @@
+"""TpWIRE command set and addressing.
+
+The paper fixes the frame layout (CMD[2:0], DATA[7:0], TYPE[1:0]) but does
+not publish the opcode map, so the eight commands below are *inferred* from
+the behaviours the text requires: node selection, access to "the memory and
+memory mapped I/O register set" via one node address and to "the system
+register set: command, flags, DMA counter and SPI" via a second address,
+"Data register read" and "Flags/SPI register read" responses carrying valid
+data, and responses to "all other commands" carrying the node id plus the
+interrupt status in DATA[0].
+
+Addressing: node ids are 0..126, 127 is the broadcast node.  Each node has
+*two* node addresses (Sec. 3.1); we encode them as ``(node_id << 1) |
+space`` with ``space`` 0 for the memory / memory-mapped-I/O set and 1 for
+the system register set, which fits both addresses of all 128 nodes in the
+8-bit DATA field of a SELECT frame.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+#: Highest addressable real node id.
+MAX_NODE_ID = 126
+
+#: The virtual broadcast node (Sec. 3.1: "the 128th node").
+BROADCAST_NODE_ID = 127
+
+
+class Command(enum.IntEnum):
+    """TX frame CMD[2:0] opcodes (inferred; see module docstring)."""
+
+    SELECT = 0       #: DATA = node address; selects the node + register set
+    WRITE_ADDR = 1   #: DATA = register/memory pointer (auto-increment base)
+    WRITE_DATA = 2   #: DATA = byte stored at the pointer (post-increment)
+    READ_DATA = 3    #: Data register read; RX DATA = byte at the pointer
+    READ_FLAGS = 4   #: Flags/SPI register read; RX DATA = flags/SPI byte
+    SYS_CMD = 5      #: DATA = system command executed by the slave
+    POLL = 6         #: status poll; RX DATA = node id / interrupt status
+    RESET = 7        #: soft reset of the selected (or broadcast) node
+
+
+class RxType(enum.IntEnum):
+    """RX frame TYPE[1:0] codes (inferred)."""
+
+    ACK = 0     #: command executed; DATA = node id + interrupt status
+    DATA = 1    #: response to READ_DATA; DATA = the byte read
+    FLAGS = 2   #: response to READ_FLAGS; DATA = flags/SPI byte
+    ERROR = 3   #: the slave rejected the command
+
+
+class AddressSpace(enum.IntEnum):
+    """The two per-node address spaces (Sec. 3.1)."""
+
+    MEMORY = 0  #: memory and memory-mapped I/O register set
+    SYSTEM = 1  #: system register set: command, flags, DMA counter, SPI
+
+
+class SysCommand(enum.IntEnum):
+    """Values of the COMMAND system register written via SYS_CMD.
+
+    The system register set includes a *DMA counter* (Sec. 3.1);
+    ``DMA_WRITE`` arms a write burst of that many bytes: the slave
+    executes the following WRITE_DATA frames without replying (halving
+    the per-byte bus time) and acknowledges only the final one.
+    """
+
+    NOP = 0x00
+    DMA_WRITE = 0x01
+
+
+#: Commands whose RX response carries payload data rather than status.
+DATA_BEARING_RESPONSES = {Command.READ_DATA, Command.READ_FLAGS}
+
+
+def node_address(node_id: int, space: AddressSpace = AddressSpace.MEMORY) -> int:
+    """The 8-bit SELECT address of ``node_id`` in ``space``."""
+    if not 0 <= node_id <= BROADCAST_NODE_ID:
+        raise ValueError(
+            f"node id must be 0..{BROADCAST_NODE_ID}, got {node_id}"
+        )
+    return (node_id << 1) | int(space)
+
+
+def split_address(address: int) -> tuple[int, AddressSpace]:
+    """Inverse of :func:`node_address`: ``(node_id, space)``."""
+    if not 0 <= address <= 0xFF:
+        raise ValueError(f"address must be one byte, got {address}")
+    return address >> 1, AddressSpace(address & 1)
+
+
+def is_broadcast(node_id: int) -> bool:
+    return node_id == BROADCAST_NODE_ID
+
+
+def status_byte(node_id: int, interrupt_pending: bool) -> int:
+    """DATA byte for ACK responses: node id in DATA[7:1], INT in DATA[0].
+
+    Sec. 3.1: "DATA[7:0] hold node ID and DATA[0] holds interrupt status
+    ... for response to all other commands"; packing the 7-bit node id in
+    the upper bits leaves DATA[0] free for the interrupt status.
+    """
+    if not 0 <= node_id <= BROADCAST_NODE_ID:
+        raise ValueError(f"bad node id {node_id}")
+    return ((node_id & 0x7F) << 1) | (1 if interrupt_pending else 0)
+
+
+def split_status_byte(data: int) -> tuple[int, bool]:
+    """Inverse of :func:`status_byte`: ``(node_id, interrupt_pending)``."""
+    return (data >> 1) & 0x7F, bool(data & 1)

@@ -1,0 +1,52 @@
+"""CRC-4 over the x^4 + x + 1 polynomial.
+
+The TpWIRE specification (Section 3.1) protects each frame with four CRC
+bits computed over CMD[2:0] + DATA[7:0] (TX frames) or TYPE[1:0] + DATA[7:0]
+(RX frames) using the generator polynomial x^4 + x + 1 (0b1_0011).
+
+The CRC is a plain polynomial remainder, MSB-first, zero initial value.
+"""
+
+from __future__ import annotations
+
+#: Generator polynomial x^4 + x + 1, including the leading x^4 term.
+CRC4_POLY = 0b10011
+
+#: Width of the CRC in bits.
+CRC4_WIDTH = 4
+
+
+def crc4(value: int, nbits: int) -> int:
+    """CRC-4 remainder of ``value`` interpreted as ``nbits`` bits, MSB first.
+
+    >>> crc4(0b101_0101010, 10) in range(16)
+    True
+    """
+    if nbits < 0:
+        raise ValueError(f"nbits must be >= 0, got {nbits}")
+    if value < 0 or value >= (1 << nbits):
+        raise ValueError(f"value {value} does not fit in {nbits} bits")
+    # Append CRC4_WIDTH zero bits, then reduce modulo the polynomial.
+    remainder = value << CRC4_WIDTH
+    total_bits = nbits + CRC4_WIDTH
+    for shift in range(total_bits - 1, CRC4_WIDTH - 1, -1):
+        if remainder & (1 << shift):
+            remainder ^= CRC4_POLY << (shift - CRC4_WIDTH)
+    return remainder & 0xF
+
+
+def check_crc4(value: int, nbits: int, crc: int) -> bool:
+    """``True`` when ``crc`` is the valid CRC-4 for ``value``."""
+    if crc < 0 or crc > 0xF:
+        raise ValueError(f"crc {crc} is not a 4-bit value")
+    return crc4(value, nbits) == crc
+
+
+def crc4_bits(bits: list[int]) -> int:
+    """CRC-4 of a bit list (MSB first), for the bit-level PHY model."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        value = (value << 1) | bit
+    return crc4(value, len(bits))

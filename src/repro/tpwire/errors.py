@@ -1,0 +1,29 @@
+"""TpWIRE error hierarchy."""
+
+
+class TpwireError(Exception):
+    """Base class for all TpWIRE protocol and bus errors."""
+
+
+class FrameError(TpwireError):
+    """Malformed frame (bad start bit, field out of range, wrong width)."""
+
+
+class CrcMismatch(FrameError):
+    """Frame CRC does not match its fields."""
+
+
+class BusError(TpwireError):
+    """The master exhausted its retries and signals an error (Sec. 3.1)."""
+
+
+class BusTimeout(BusError):
+    """Retries exhausted with no reply at all (vs. garbled replies)."""
+
+
+class SlaveError(TpwireError):
+    """A slave answered with an ERROR frame (rejected command)."""
+
+
+class NoSuchNode(TpwireError):
+    """A frame addressed a node id that is not on the bus."""

@@ -1,0 +1,247 @@
+"""TpWIRE master: transaction engine with timeout/retry, high-level ops.
+
+Sec. 3.1: "If any Slave responds within an expected time period, or an
+error occurs during the receive of TX or RX frames, the Master resends the
+TX frame a predetermined number of times before signaling an error."
+
+The master exposes two API levels:
+
+* :meth:`transact` — one command/response cycle with automatic retries;
+  returns a waitable that succeeds with the :class:`RxFrame` (or fails
+  with :class:`BusError` once retries are exhausted).
+* ``op_*`` generator helpers (select / read / write byte sequences) that
+  compound multiple cycles.  Compound operations must not interleave —
+  they share the selection state — so they run under the master's
+  operation lock via :meth:`run_op`::
+
+      payload = yield master.run_op(master.op_read_bytes(node, 0x10, 4))
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.des.process import Waitable
+from repro.des.resource import Resource
+from repro.tpwire.bus import CycleResult, CycleStatus, TpwireBus
+from repro.tpwire.commands import (
+    AddressSpace,
+    BROADCAST_NODE_ID,
+    Command,
+    node_address,
+)
+from repro.tpwire.commands import RxType
+from repro.tpwire.errors import BusError, BusTimeout, SlaveError
+from repro.tpwire.frames import RxFrame, TxFrame
+from repro.tpwire.registers import Flag
+
+
+class TpwireMaster:
+    """The bus master; owns one :class:`TpwireBus`."""
+
+    def __init__(self, sim, bus: TpwireBus, max_retries: int = 3, name: str = "master"):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.sim = sim
+        self.bus = bus
+        self.max_retries = max_retries
+        self.name = name
+        self.lock = Resource(sim, capacity=1)
+        # -- statistics
+        self.transactions = 0
+        self.retries = 0
+        self.errors_signaled = 0
+        #: Node id the last SELECT addressed (cache to skip redundant selects).
+        self._selected: Optional[tuple[int, AddressSpace]] = None
+
+    # -- single-cycle transaction with retries ------------------------------
+
+    def transact(self, frame: TxFrame, expect_reply: bool = True) -> Waitable:
+        """Send ``frame``; retry on timeout/CRC error; waitable succeeds
+        with the RX frame (or ``None`` for no-reply cycles)."""
+        return self.sim.spawn(
+            self._transact_proc(frame, expect_reply),
+            name=f"{self.name}.transact",
+        )
+
+    def transact_raw(self, frame: TxFrame, expect_reply: bool = True) -> Waitable:
+        """One cycle, no retries: succeeds with the raw :class:`CycleResult`.
+
+        For protocol steps where blind resending is wrong (destructive
+        FIFO registers): the caller inspects the status — a TIMEOUT means
+        the slave never executed the frame (safe to resend), a CRC_ERROR
+        means it executed but the reply was garbled (recover, don't
+        resend).
+        """
+        self.transactions += 1
+        return self.bus.execute(frame, expect_reply)
+
+    def _transact_proc(self, frame: TxFrame, expect_reply: bool) -> Generator:
+        self.transactions += 1
+        attempts = self.max_retries + 1
+        last_status = None
+        for attempt in range(attempts):
+            result: CycleResult = yield self.bus.execute(frame, expect_reply)
+            if result.status is CycleStatus.BROADCAST:
+                return None
+            if result.status is CycleStatus.OK:
+                if result.rx.rtype is RxType.ERROR:
+                    # The slave rejected the command: retrying the same
+                    # frame cannot help.
+                    self.errors_signaled += 1
+                    raise SlaveError(
+                        f"{self.name}: slave rejected {frame} "
+                        f"(status {result.rx.data:#04x})"
+                    )
+                return result.rx
+            last_status = result.status
+            if attempt < attempts - 1:
+                self.retries += 1
+        self.errors_signaled += 1
+        self._selected = None  # selection state is now unknown
+        error_class = (
+            BusTimeout if last_status is CycleStatus.TIMEOUT else BusError
+        )
+        raise error_class(
+            f"{self.name}: no valid reply to {frame} after {attempts} "
+            f"attempts (last: {last_status.value})"
+        )
+
+    # -- compound operations (generators; run under the lock) ----------------
+
+    def op_select(
+        self, node_id: int, space: AddressSpace = AddressSpace.MEMORY
+    ) -> Generator:
+        """SELECT a node/register set (skipped when already selected)."""
+        if self._selected == (node_id, space):
+            return None
+        frame = TxFrame(Command.SELECT, node_address(node_id, space))
+        expect_reply = node_id != BROADCAST_NODE_ID
+        reply = yield self.transact(frame, expect_reply=expect_reply)
+        self._selected = (node_id, space)
+        return reply
+
+    def op_set_pointer(self, address: int) -> Generator:
+        yield self.transact(TxFrame(Command.WRITE_ADDR, address & 0xFF))
+        return None
+
+    def op_write_bytes(
+        self,
+        node_id: int,
+        address: int,
+        data: bytes,
+        space: AddressSpace = AddressSpace.MEMORY,
+    ) -> Generator:
+        """SELECT + WRITE_ADDR + one WRITE_DATA frame per byte."""
+        yield from self.op_select(node_id, space)
+        yield from self.op_set_pointer(address)
+        for value in data:
+            yield self.transact(TxFrame(Command.WRITE_DATA, value))
+        return len(data)
+
+    def op_read_bytes(
+        self,
+        node_id: int,
+        address: int,
+        count: int,
+        space: AddressSpace = AddressSpace.MEMORY,
+    ) -> Generator:
+        """SELECT + WRITE_ADDR + one READ_DATA frame per byte."""
+        yield from self.op_select(node_id, space)
+        yield from self.op_set_pointer(address)
+        out = bytearray()
+        for _ in range(count):
+            rx: RxFrame = yield self.transact(TxFrame(Command.READ_DATA, 0))
+            out.append(rx.data)
+        return bytes(out)
+
+    def op_dma_write_bytes(
+        self,
+        node_id: int,
+        address: int,
+        data: bytes,
+    ) -> Generator:
+        """Burst write using the DMA counter (Sec. 3.1 system registers).
+
+        Arms the slave's DMA write counter, then streams the payload as
+        fire-and-forget WRITE_DATA frames; only the final byte is
+        acknowledged, halving the per-byte bus time of long writes.  A
+        frame lost mid-burst desynchronises the counter, so the final
+        frame times out and the whole operation raises
+        :class:`~repro.tpwire.errors.BusError` — callers retry the burst.
+        """
+        if not data:
+            raise ValueError("DMA burst needs at least one byte")
+        if len(data) > 0xFF:
+            raise ValueError(
+                f"DMA counter is one byte; burst of {len(data)} too long"
+            )
+        from repro.tpwire.commands import SysCommand
+        from repro.tpwire.registers import SystemRegister
+
+        # Program the DMA counter (system space), then arm the burst and
+        # stream into the memory-space destination.
+        yield from self.op_select(node_id, AddressSpace.SYSTEM)
+        yield from self.op_set_pointer(int(SystemRegister.DMA_COUNTER))
+        yield self.transact(TxFrame(Command.WRITE_DATA, len(data)))
+        yield from self.op_select(node_id, AddressSpace.MEMORY)
+        yield from self.op_set_pointer(address)
+        yield self.transact(
+            TxFrame(Command.SYS_CMD, int(SysCommand.DMA_WRITE))
+        )
+        for value in data[:-1]:
+            yield self.transact(
+                TxFrame(Command.WRITE_DATA, value), expect_reply=False
+            )
+        # The final byte is acknowledged: it validates the whole burst.
+        yield self.transact(TxFrame(Command.WRITE_DATA, data[-1]))
+        return len(data)
+
+    def op_read_flags(self, node_id: int) -> Generator:
+        """SELECT + READ_FLAGS; returns the :class:`Flag` byte."""
+        yield from self.op_select(node_id, AddressSpace.MEMORY)
+        rx: RxFrame = yield self.transact(TxFrame(Command.READ_FLAGS, 0))
+        return Flag(rx.data)
+
+    def op_poll(self, node_id: int) -> Generator:
+        """SELECT + POLL; returns the raw status RX frame."""
+        yield from self.op_select(node_id, AddressSpace.MEMORY)
+        rx: RxFrame = yield self.transact(TxFrame(Command.POLL, 0))
+        return rx
+
+    def op_sys_command(self, node_id: int, command: int) -> Generator:
+        yield from self.op_select(node_id, AddressSpace.MEMORY)
+        yield self.transact(TxFrame(Command.SYS_CMD, command & 0xFF))
+        return None
+
+    def op_broadcast_reset(self) -> Generator:
+        """Broadcast-select then RESET: every slave resets, nobody replies."""
+        yield from self.op_select(BROADCAST_NODE_ID, AddressSpace.MEMORY)
+        yield self.transact(TxFrame(Command.RESET, 0), expect_reply=False)
+        self._selected = None
+        return None
+
+    # -- running compound ops -------------------------------------------------
+
+    def run_op(self, op: Generator, name: str = "op"):
+        """Run a compound op under the operation lock; returns its Process."""
+        return self.sim.spawn(self._locked(op), name=f"{self.name}.{name}")
+
+    def _locked(self, op: Generator) -> Generator:
+        request = self.lock.request()
+        yield request
+        try:
+            result = yield from op
+        finally:
+            self.lock.release(request)
+        return result
+
+    def invalidate_selection(self) -> None:
+        """Forget the cached selection (e.g. after an external reset)."""
+        self._selected = None
+
+    def __repr__(self) -> str:
+        return (
+            f"TpwireMaster({self.name!r}, txn={self.transactions}, "
+            f"retries={self.retries})"
+        )

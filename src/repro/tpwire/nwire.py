@@ -1,0 +1,129 @@
+"""n-wire scalability variants (Sec. 3.2).
+
+The paper proposes scaling TpWIRE "by increasing the number of lines from
+the 1-wire to a n-wire architecture", used in one of two ways:
+
+1. *parallel data*: "One line is used to communicate with the Master,
+   while the other lines are used to parallel transmit data" — modelled
+   by :class:`~repro.tpwire.timing.BusTiming` with
+   ``mode=WireMode.PARALLEL_DATA`` (the DATA byte is striped over the
+   extra lines, shortening every frame);
+2. *parallel buses*: "Each line is used to implement one 1-wire bus, thus
+   having n parallel 1-wire transmissions" — modelled by
+   :class:`ParallelBusGroup`, a set of independent 1-wire buses whose
+   slaves are partitioned across the lines.
+
+``timing_for(wires, ...)`` is the convenience constructor the benchmark
+suite uses for the 1-wire / 2-wire comparison of Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tpwire.bus import BitErrorModel, TpwireBus
+from repro.tpwire.errors import TpwireError
+from repro.tpwire.master import TpwireMaster
+from repro.tpwire.slave import TpwireSlave
+from repro.tpwire.timing import BusTiming, WireMode
+
+
+def timing_for(
+    wires: int,
+    bit_rate: float = 2400.0,
+    mode: Optional[WireMode] = None,
+    **kwargs,
+) -> BusTiming:
+    """A :class:`BusTiming` for an n-wire bus.
+
+    ``wires=1`` is the deployed serial bus; ``wires>=2`` defaults to the
+    parallel-data mode, the configuration behind the paper's 2-wire
+    estimate in Table 4.
+    """
+    if wires < 1:
+        raise TpwireError(f"wires must be >= 1, got {wires}")
+    if mode is None:
+        mode = WireMode.SERIAL if wires == 1 else WireMode.PARALLEL_DATA
+    return BusTiming(bit_rate=bit_rate, wires=wires, mode=mode, **kwargs)
+
+
+class ParallelBusGroup:
+    """``n`` independent 1-wire buses driven by one master controller.
+
+    Slaves are partitioned across the lines (each physical board hangs off
+    exactly one line); the master can run one communication cycle per line
+    concurrently.  Inter-line relaying is possible because every line
+    terminates at the same master.
+    """
+
+    def __init__(
+        self,
+        sim,
+        wires: int,
+        bit_rate: float = 2400.0,
+        max_retries: int = 3,
+        error_model: Optional[BitErrorModel] = None,
+        name: str = "tpwire-group",
+        **timing_kwargs,
+    ):
+        if wires < 1:
+            raise TpwireError(f"wires must be >= 1, got {wires}")
+        self.sim = sim
+        self.name = name
+        timing = BusTiming(
+            bit_rate=bit_rate, wires=1, mode=WireMode.SERIAL, **timing_kwargs
+        )
+        self.buses = [
+            TpwireBus(sim, timing, error_model, name=f"{name}.line{i}")
+            for i in range(wires)
+        ]
+        self.masters = [
+            TpwireMaster(sim, bus, max_retries, name=f"{name}.master{i}")
+            for i, bus in enumerate(self.buses)
+        ]
+        self._line_of_node: dict[int, int] = {}
+
+    @property
+    def wires(self) -> int:
+        return len(self.buses)
+
+    def attach_slave(self, slave: TpwireSlave, line: Optional[int] = None) -> int:
+        """Attach a slave to a line (default: the least-loaded line)."""
+        if slave.node_id in self._line_of_node:
+            raise TpwireError(f"node {slave.node_id} already attached")
+        if line is None:
+            line = min(
+                range(self.wires), key=lambda i: len(self.buses[i].slaves)
+            )
+        if not 0 <= line < self.wires:
+            raise TpwireError(f"no line {line} on {self.name}")
+        self.buses[line].attach_slave(slave)
+        self._line_of_node[slave.node_id] = line
+        return line
+
+    def line_of(self, node_id: int) -> int:
+        try:
+            return self._line_of_node[node_id]
+        except KeyError:
+            raise TpwireError(f"node {node_id} is not attached to {self.name}")
+
+    def master_for(self, node_id: int) -> TpwireMaster:
+        """The master driving the line a node is attached to."""
+        return self.masters[self.line_of(node_id)]
+
+    # -- aggregate statistics ------------------------------------------------
+
+    @property
+    def tx_frames(self) -> int:
+        return sum(bus.tx_frames for bus in self.buses)
+
+    @property
+    def rx_frames(self) -> int:
+        return sum(bus.rx_frames for bus in self.buses)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(bus.timeouts for bus in self.buses)
+
+    def __repr__(self) -> str:
+        return f"ParallelBusGroup({self.name!r}, wires={self.wires})"

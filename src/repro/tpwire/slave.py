@@ -1,0 +1,240 @@
+"""TpWIRE slave protocol state machine.
+
+A slave observes every TX frame travelling down the daisy chain (which
+feeds its reset watchdog), executes the command when it is the selected
+node, and answers with an RX frame.  The broadcast node (id 127) makes all
+slaves execute without replying (Sec. 3.1).
+
+The reset watchdog is modelled lazily: on each observed frame the slave
+checks whether more than 2048 bit periods elapsed since the last valid TX
+frame; if so it self-reset at that deadline and stays unresponsive for the
+33-bit-period reset pulse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tpwire.commands import (
+    AddressSpace,
+    BROADCAST_NODE_ID,
+    Command,
+    SysCommand,
+    split_address,
+    status_byte,
+)
+from repro.tpwire.errors import TpwireError
+from repro.tpwire.frames import RxFrame, TxFrame
+from repro.tpwire.commands import RxType
+from repro.tpwire.registers import Flag, SlaveRegisterFile
+from repro.tpwire.timing import BusTiming
+
+
+class TpwireSlave:
+    """One slave node: register file, selection state, reset watchdog."""
+
+    def __init__(
+        self,
+        sim,
+        node_id: int,
+        timing: BusTiming,
+        memory_size: int = 256,
+        name: Optional[str] = None,
+    ):
+        if not 0 <= node_id < BROADCAST_NODE_ID:
+            raise TpwireError(
+                f"slave node id must be 0..{BROADCAST_NODE_ID - 1}, "
+                f"got {node_id}"
+            )
+        self.sim = sim
+        self.node_id = node_id
+        self.timing = timing
+        self.name = name or f"slave{node_id}"
+        self.registers = SlaveRegisterFile(memory_size)
+        #: Address space selected by the last matching SELECT, or ``None``.
+        self.selected_space: Optional[AddressSpace] = None
+        #: True when selection came via the broadcast node: the slave
+        #: executes commands but never replies (Sec. 3.1).
+        self.broadcast_selected = False
+        self._last_valid_tx: float = sim.now
+        self._reset_until: float = -1.0
+        self.resets = 0
+        self.executed_frames = 0
+        #: bytes left in an armed DMA write burst (0 = no burst active)
+        self.dma_write_remaining = 0
+        self._devices: list = []
+
+    # -- device attachment ---------------------------------------------------
+
+    def attach_device(self, device) -> None:
+        """Attach a peripheral; it installs MMIO handlers on our registers."""
+        device.install(self)
+        self._devices.append(device)
+
+    @property
+    def devices(self) -> list:
+        return list(self._devices)
+
+    # -- interrupts -----------------------------------------------------------
+
+    @property
+    def interrupt_pending(self) -> bool:
+        return self.registers.test_flag(Flag.INT_PENDING)
+
+    def raise_interrupt(self) -> None:
+        self.registers.set_flag(Flag.INT_PENDING, True)
+
+    def clear_interrupt(self) -> None:
+        self.registers.set_flag(Flag.INT_PENDING, False)
+
+    # -- reset watchdog ---------------------------------------------------------
+
+    def _service_watchdog(self, now: float) -> None:
+        """Apply any reset that should have happened before ``now``."""
+        deadline = self._last_valid_tx + self.timing.reset_timeout
+        if now > deadline:
+            self._perform_reset(deadline)
+
+    def _perform_reset(self, at: float) -> None:
+        self.registers.reset()
+        self.selected_space = None
+        self.dma_write_remaining = 0
+        self._reset_until = at + self.timing.reset_active
+        self.resets += 1
+        # The watchdog restarts once reset releases.
+        self._last_valid_tx = self._reset_until
+        # Peripherals re-assert their state (e.g. the mailbox re-raises
+        # OUT_READY for traffic queued before the reset).
+        for device in self._devices:
+            handler = getattr(device, "on_reset", None)
+            if handler is not None:
+                handler()
+
+    @property
+    def in_reset_at(self):
+        return self._reset_until
+
+    def is_in_reset(self, now: float) -> bool:
+        self._service_watchdog(now)
+        return now < self._reset_until
+
+    # -- frame handling ------------------------------------------------------------
+
+    def observe_tx(self, frame: TxFrame, now: float) -> None:
+        """A valid TX frame passed through this slave: feed the watchdog."""
+        self._service_watchdog(now)
+        if now >= self._reset_until:
+            self._last_valid_tx = now
+
+    def execute(self, frame: TxFrame, now: float) -> Optional[RxFrame]:
+        """Execute ``frame`` if it applies to this slave.
+
+        Returns the RX frame to send back, or ``None`` when the slave does
+        not respond (not selected, in reset, or a broadcast).
+        """
+        if self.is_in_reset(now):
+            return None
+        self.observe_tx(frame, now)
+
+        if frame.cmd is Command.SELECT:
+            return self._execute_select(frame)
+        if self.selected_space is None:
+            return None
+        self.executed_frames += 1
+        reply = self._execute_selected(frame)
+        if self.broadcast_selected:
+            return None
+        return reply
+
+    # -- command implementations -----------------------------------------------------
+
+    def _execute_select(self, frame: TxFrame) -> Optional[RxFrame]:
+        node_id, space = split_address(frame.data)
+        if node_id == BROADCAST_NODE_ID:
+            # Broadcast select: everyone selected, nobody replies.
+            self.selected_space = space
+            self.broadcast_selected = True
+            return None
+        if node_id == self.node_id:
+            self.selected_space = space
+            self.broadcast_selected = False
+            return self._ack()
+        self.selected_space = None
+        self.broadcast_selected = False
+        return None
+
+    def _execute_selected(self, frame: TxFrame) -> RxFrame:
+        space = self.selected_space
+        regs = self.registers
+        cmd = frame.cmd
+        try:
+            if cmd is Command.WRITE_ADDR:
+                regs.set_pointer(frame.data)
+                return self._ack()
+            if cmd is Command.WRITE_DATA:
+                if space is AddressSpace.MEMORY:
+                    regs.write_at_pointer(frame.data)
+                else:
+                    regs.write_system(regs.pointer, frame.data)
+                    regs.set_pointer((regs.pointer + 1) % 256)
+                if self.dma_write_remaining > 0:
+                    # Burst mode: stay silent until the final byte lands.
+                    self.dma_write_remaining -= 1
+                    if self.dma_write_remaining > 0:
+                        return None
+                return self._ack()
+            if cmd is Command.READ_DATA:
+                if space is AddressSpace.MEMORY:
+                    value = regs.read_at_pointer()
+                else:
+                    value = regs.read_system(regs.pointer)
+                    regs.set_pointer((regs.pointer + 1) % 256)
+                return RxFrame(RxType.DATA, value, self.interrupt_pending)
+            if cmd is Command.READ_FLAGS:
+                value = int(regs.flags)
+                regs.set_flag(Flag.RESET_OCCURRED, False)
+                return RxFrame(RxType.FLAGS, value, self.interrupt_pending)
+            if cmd is Command.SYS_CMD:
+                regs.write_system(0, frame.data)  # COMMAND register
+                if frame.data == int(SysCommand.DMA_WRITE):
+                    from repro.tpwire.registers import SystemRegister
+                    self.dma_write_remaining = regs.system[
+                        SystemRegister.DMA_COUNTER
+                    ]
+                for device in self._devices:
+                    handler = getattr(device, "on_sys_command", None)
+                    if handler is not None:
+                        handler(frame.data)
+                return self._ack()
+            if cmd is Command.POLL:
+                return self._ack()
+            if cmd is Command.RESET:
+                self._perform_reset(self.sim.now)
+                return None
+        except TpwireError:
+            regs.set_flag(Flag.ERROR, True)
+            return RxFrame(
+                RxType.ERROR,
+                status_byte(self.node_id, self.interrupt_pending),
+                self.interrupt_pending,
+            )
+        # Unknown command value (cannot happen with the 3-bit enum, but be
+        # explicit rather than silent).
+        return RxFrame(
+            RxType.ERROR,
+            status_byte(self.node_id, self.interrupt_pending),
+            self.interrupt_pending,
+        )
+
+    def _ack(self) -> RxFrame:
+        return RxFrame(
+            RxType.ACK,
+            status_byte(self.node_id, self.interrupt_pending),
+            self.interrupt_pending,
+        )
+
+    def __repr__(self) -> str:
+        sel = (
+            self.selected_space.name if self.selected_space is not None else "-"
+        )
+        return f"TpwireSlave(id={self.node_id}, selected={sel})"

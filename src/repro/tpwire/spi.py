@@ -1,0 +1,107 @@
+"""SPI peripheral behind the system register set (Sec. 3.1).
+
+The slave's system registers include an SPI data register.  This module
+gives it behaviour: an :class:`SpiController` device that shifts bytes
+between the SPI register and an attached SPI peripheral, one byte per
+SYS_CMD ``SPI_XFER`` — the standard full-duplex SPI contract (every
+transfer simultaneously sends the register byte and receives the
+peripheral's response into it).
+
+Two concrete peripherals cover the factory-automation cases the paper
+motivates: a temperature sensor (the "sensors" of Sec. 1) and a shift
+register for digital outputs (the "actuators").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.tpwire.errors import TpwireError
+from repro.tpwire.registers import SystemRegister
+
+
+class SpiSysCommand(enum.IntEnum):
+    """SYS_CMD values owned by the SPI controller."""
+
+    #: one full-duplex byte transfer with the attached peripheral
+    SPI_XFER = 0x10
+
+
+class SpiPeripheral:
+    """Protocol of an attached SPI device: one byte in, one byte out."""
+
+    def transfer(self, mosi: int) -> int:
+        raise NotImplementedError
+
+
+class SpiController:
+    """Slave device wiring the SPI system register to a peripheral."""
+
+    def __init__(self, peripheral: Optional[SpiPeripheral] = None):
+        self.peripheral = peripheral
+        self._slave = None
+        self.transfers = 0
+
+    def install(self, slave) -> None:
+        self._slave = slave
+
+    def attach_peripheral(self, peripheral: SpiPeripheral) -> None:
+        self.peripheral = peripheral
+
+    def on_sys_command(self, value: int) -> None:
+        if value != int(SpiSysCommand.SPI_XFER):
+            return
+        if self._slave is None:
+            raise TpwireError("SPI controller not installed on a slave")
+        if self.peripheral is None:
+            raise TpwireError("no SPI peripheral attached")
+        regs = self._slave.registers
+        mosi = regs.read_system(int(SystemRegister.SPI))
+        miso = self.peripheral.transfer(mosi) & 0xFF
+        regs.write_system(int(SystemRegister.SPI), miso)
+        self.transfers += 1
+
+
+class TemperatureSensor(SpiPeripheral):
+    """An SPI thermometer (command 0x01 = sample, then read the byte).
+
+    Protocol: send ``0x01`` to trigger a sample; the byte clocked out on
+    the *next* transfer is the temperature in half-degrees C (0..255 ->
+    0..127.5 degC).  Any other command byte shifts out ``0x00``.
+    """
+
+    SAMPLE = 0x01
+
+    def __init__(self, temperature_c: float = 20.0):
+        self.temperature_c = temperature_c
+        self._pending = 0
+        self.samples_taken = 0
+
+    def transfer(self, mosi: int) -> int:
+        out = self._pending
+        self._pending = 0
+        if mosi == self.SAMPLE:
+            clamped = min(max(self.temperature_c, 0.0), 127.5)
+            self._pending = int(round(clamped * 2))
+            self.samples_taken += 1
+        return out
+
+
+class OutputShiftRegister(SpiPeripheral):
+    """A 74HC595-style output latch: every byte written drives 8 outputs."""
+
+    def __init__(self):
+        self.outputs = 0
+        self.writes = 0
+
+    def transfer(self, mosi: int) -> int:
+        previous = self.outputs
+        self.outputs = mosi & 0xFF
+        self.writes += 1
+        return previous  # shifted-out previous state, as real chains do
+
+    def pin(self, index: int) -> bool:
+        if not 0 <= index <= 7:
+            raise ValueError(f"pin index must be 0..7, got {index}")
+        return bool(self.outputs & (1 << index))

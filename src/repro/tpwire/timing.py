@@ -1,0 +1,183 @@
+"""TpWIRE timing model.
+
+All packet-level durations derive from here.  The base parameters follow
+Section 3.1: 16-bit frames, a slave reset timeout of 2048 bit periods and
+a reset pulse of 33 bit periods.  The per-hop repeater delay, inter-frame
+gap and slave turnaround are configuration knobs (the physical values are
+not published); their defaults are small multiples of the bit period.
+
+n-wire scalability (Sec. 3.2) enters through :class:`WireMode`:
+
+* ``SERIAL`` — the deployed 1-wire bus: every frame bit serial on one line.
+* ``PARALLEL_DATA`` — one line carries the serial command stream while
+  the DATA byte is striped over the remaining ``wires - 1`` lines.  The
+  receiver needs the start bit to synchronise, so data lines begin one
+  bit period in; the CRC (computed over the data) follows serially once
+  both the command bits and the striped data have landed.  A frame
+  therefore lasts ``max(lead_bits, 1 + ceil(8/(wires-1))) + crc_bits``
+  periods — 13 instead of 16 for the 2-wire case.
+* ``PARALLEL_BUS`` — ``wires`` independent 1-wire buses
+  (:class:`repro.tpwire.nwire.ParallelBusGroup`); each individual bus uses
+  SERIAL timing.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from repro.tpwire.frames import FRAME_BITS
+
+#: Sec. 3.1: slave resets after this many bit periods without a valid TX.
+RESET_TIMEOUT_BITS = 2048
+
+#: Sec. 3.1: reset stays active for this many bit periods.
+RESET_ACTIVE_BITS = 33
+
+#: Serial bits that are not the DATA byte: start + 3 cmd/typ+int + 4 crc.
+HEADER_BITS = FRAME_BITS - 8
+
+#: Leading serial bits before the DATA byte: start + CMD[2:0] (TX) or
+#: start + INT + TYPE[1:0] (RX) — four either way.
+LEAD_BITS = 4
+
+#: Trailing CRC bits.
+CRC_BITS = 4
+
+#: Bits of the DATA field.
+DATA_BITS = 8
+
+
+class WireMode(enum.Enum):
+    SERIAL = "serial"
+    PARALLEL_DATA = "parallel-data"
+    PARALLEL_BUS = "parallel-bus"
+
+
+@dataclass(frozen=True)
+class BusTiming:
+    """Timing parameters of one TpWIRE line group.
+
+    Parameters
+    ----------
+    bit_rate:
+        Line rate in bits/s of each wire.
+    wires:
+        Number of physical lines (>= 1).
+    mode:
+        How extra wires are used (see module docstring).  ``SERIAL``
+        requires ``wires == 1``.
+    gap_bits:
+        Idle bit periods the master leaves between communication cycles.
+    turnaround_bits:
+        Bit periods a slave takes between the end of the TX frame and the
+        start of its RX frame (command execution + line turnaround).
+    hop_delay_bits:
+        Repeater latency a frame accrues at each slave it passes through
+        in the daisy chain.
+    """
+
+    bit_rate: float = 2400.0
+    wires: int = 1
+    mode: WireMode = WireMode.SERIAL
+    gap_bits: int = 4
+    turnaround_bits: int = 4
+    hop_delay_bits: int = 2
+
+    def __post_init__(self):
+        if self.bit_rate <= 0:
+            raise ValueError(f"bit rate must be positive, got {self.bit_rate}")
+        if self.wires < 1:
+            raise ValueError(f"wires must be >= 1, got {self.wires}")
+        if self.mode is WireMode.SERIAL and self.wires != 1:
+            raise ValueError("SERIAL mode uses exactly one wire")
+        if self.mode is WireMode.PARALLEL_DATA and self.wires < 2:
+            raise ValueError("PARALLEL_DATA mode needs at least 2 wires")
+        if min(self.gap_bits, self.turnaround_bits, self.hop_delay_bits) < 0:
+            raise ValueError("bit-period counts must be >= 0")
+
+    # -- basic periods ------------------------------------------------------
+
+    @property
+    def bit_period(self) -> float:
+        return 1.0 / self.bit_rate
+
+    @property
+    def frame_bits_on_wire(self) -> int:
+        """Bit periods one frame occupies the bus."""
+        if self.mode is WireMode.PARALLEL_DATA:
+            # Data lines start one bit after the start bit; the CRC goes
+            # out serially once command bits and striped data are in.
+            data_done = 1 + math.ceil(DATA_BITS / (self.wires - 1))
+            return max(LEAD_BITS, data_done) + CRC_BITS
+        return FRAME_BITS
+
+    @property
+    def frame_duration(self) -> float:
+        return self.frame_bits_on_wire * self.bit_period
+
+    @property
+    def gap_duration(self) -> float:
+        return self.gap_bits * self.bit_period
+
+    @property
+    def turnaround_duration(self) -> float:
+        return self.turnaround_bits * self.bit_period
+
+    def hop_delay(self, hops: int) -> float:
+        return hops * self.hop_delay_bits * self.bit_period
+
+    # -- cycle durations ------------------------------------------------------
+
+    def tx_arrival_delay(self, hops: int) -> float:
+        """Master TX start -> frame fully received at a slave ``hops`` deep."""
+        return self.frame_duration + self.hop_delay(hops)
+
+    def exchange_duration(self, hops: int) -> float:
+        """Full communication cycle with the slave at depth ``hops``:
+        TX + turnaround + RX + inter-cycle gap."""
+        one_way = self.frame_duration + self.hop_delay(hops)
+        return one_way + self.turnaround_duration + one_way + self.gap_duration
+
+    def broadcast_duration(self, chain_length: int) -> float:
+        """Broadcast cycle: TX to the end of the chain, no RX (Sec. 3.1)."""
+        return (
+            self.frame_duration
+            + self.hop_delay(chain_length)
+            + self.gap_duration
+        )
+
+    def response_timeout(self, hops: int, margin: float = 2.0) -> float:
+        """How long the master waits for an RX before declaring a timeout."""
+        expected = (
+            self.frame_duration
+            + self.hop_delay(hops)
+            + self.turnaround_duration
+            + self.frame_duration
+            + self.hop_delay(hops)
+        )
+        return expected * margin
+
+    # -- reset model -----------------------------------------------------------
+
+    @property
+    def reset_timeout(self) -> float:
+        """Seconds of TX silence after which a slave self-resets."""
+        return RESET_TIMEOUT_BITS * self.bit_period
+
+    @property
+    def reset_active(self) -> float:
+        """Seconds the reset pulse holds the slave unresponsive."""
+        return RESET_ACTIVE_BITS * self.bit_period
+
+    # -- derived metrics ---------------------------------------------------------
+
+    @property
+    def peak_exchanges_per_second(self) -> float:
+        """Upper bound on cycles/s (zero-hop slave, back-to-back)."""
+        return 1.0 / self.exchange_duration(0)
+
+    def scaled(self, **changes) -> "BusTiming":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,103 @@
+"""Assembler."""
+
+import pytest
+
+from repro.board import StackCpu, assemble, AssemblerError
+from repro.board.cpu import INSTRUCTION_SIZE
+
+
+def run_source(source, **cpu_kwargs):
+    blob, symbols = assemble(source)
+    cpu = StackCpu(**cpu_kwargs)
+    cpu.load(blob)
+    cpu.run()
+    return cpu, symbols
+
+
+class TestAssembly:
+    def test_simple_program(self):
+        cpu, _ = run_source("""
+            PUSH 2
+            PUSH 40
+            ADD
+            HALT
+        """)
+        assert cpu.stack == [42]
+
+    def test_labels_resolve_forward_and_backward(self):
+        cpu, symbols = run_source("""
+            start:
+                PUSH 3
+            loop:
+                DEC
+                DUP
+                JNZ loop
+                JMP end
+            end:
+                HALT
+        """)
+        assert cpu.stack == [0]
+        assert symbols["start"] == 0
+        assert symbols["loop"] == INSTRUCTION_SIZE
+
+    def test_comments_and_blank_lines(self):
+        cpu, _ = run_source("""
+            ; a comment
+            PUSH 1   # trailing comment
+
+            HALT
+        """)
+        assert cpu.stack == [1]
+
+    def test_hex_operands(self):
+        cpu, _ = run_source("PUSH 0x10\nHALT")
+        assert cpu.stack == [16]
+
+    def test_byte_directive_and_label_offset(self):
+        cpu, symbols = run_source("""
+                LOAD data+1
+                HALT
+            data: .byte 10 20 30
+        """)
+        assert cpu.stack == [20]
+        assert symbols["data"] == 2 * INSTRUCTION_SIZE
+
+    def test_label_on_same_line_as_instruction(self):
+        cpu, symbols = run_source("""
+            start: PUSH 5
+            HALT
+        """)
+        assert cpu.stack == [5]
+        assert symbols["start"] == 0
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("FROB 1")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblerError, match="bad number"):
+            assemble("JMP nowhere")
+
+    def test_unknown_label_with_offset(self):
+        with pytest.raises(AssemblerError, match="unknown label"):
+            assemble("LOAD nowhere+4")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x:\nx:\nHALT")
+
+    def test_operand_arity_checked(self):
+        with pytest.raises(AssemblerError, match="takes no operand"):
+            assemble("ADD 1")
+        with pytest.raises(AssemblerError, match="exactly one operand"):
+            assemble("PUSH")
+
+    def test_bad_label_name(self):
+        with pytest.raises(AssemblerError, match="bad label"):
+            assemble("2bad: HALT")
+
+    def test_empty_byte_directive(self):
+        with pytest.raises(AssemblerError, match="needs values"):
+            assemble(".byte")

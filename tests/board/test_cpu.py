@@ -1,0 +1,209 @@
+"""Stack-machine ISS."""
+
+import pytest
+
+from repro.board import CpuError, Op, StackCpu
+from repro.board.cpu import encode_program
+
+
+def run(program, **kwargs):
+    cpu = StackCpu(**kwargs)
+    cpu.load_program(program)
+    cpu.run()
+    return cpu
+
+
+class TestArithmetic:
+    def test_push_add(self):
+        cpu = run([(Op.PUSH, 2), (Op.PUSH, 3), (Op.ADD, 0), (Op.HALT, 0)])
+        assert cpu.stack == [5]
+
+    def test_sub_order(self):
+        cpu = run([(Op.PUSH, 10), (Op.PUSH, 3), (Op.SUB, 0), (Op.HALT, 0)])
+        assert cpu.stack == [7]
+
+    def test_mul(self):
+        cpu = run([(Op.PUSH, 6), (Op.PUSH, 7), (Op.MUL, 0), (Op.HALT, 0)])
+        assert cpu.stack == [42]
+
+    def test_divmod(self):
+        cpu = run([(Op.PUSH, 17), (Op.PUSH, 5), (Op.DIVMOD, 0), (Op.HALT, 0)])
+        assert cpu.stack == [3, 2]
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(CpuError):
+            run([(Op.PUSH, 1), (Op.PUSH, 0), (Op.DIVMOD, 0), (Op.HALT, 0)])
+
+    def test_bitwise(self):
+        cpu = run([
+            (Op.PUSH, 0b1100), (Op.PUSH, 0b1010),
+            (Op.AND, 0), (Op.HALT, 0),
+        ])
+        assert cpu.stack == [0b1000]
+
+    def test_comparisons(self):
+        lt = run([(Op.PUSH, 1), (Op.PUSH, 2), (Op.LT, 0), (Op.HALT, 0)])
+        assert lt.stack == [1]
+        eq = run([(Op.PUSH, 2), (Op.PUSH, 2), (Op.EQ, 0), (Op.HALT, 0)])
+        assert eq.stack == [1]
+
+    def test_inc_dec(self):
+        cpu = run([(Op.PUSH, 5), (Op.INC, 0), (Op.INC, 0), (Op.DEC, 0), (Op.HALT, 0)])
+        assert cpu.stack == [6]
+
+
+class TestStackManipulation:
+    def test_dup_swap_drop(self):
+        cpu = run([
+            (Op.PUSH, 1), (Op.PUSH, 2),
+            (Op.SWAP, 0), (Op.DUP, 0), (Op.DROP, 0), (Op.HALT, 0),
+        ])
+        assert cpu.stack == [2, 1]
+
+    def test_underflow_faults(self):
+        with pytest.raises(CpuError):
+            run([(Op.ADD, 0), (Op.HALT, 0)])
+
+    def test_overflow_faults(self):
+        cpu = StackCpu()
+        cpu.load_program([(Op.PUSH, 1), (Op.JMP, 0)])
+        with pytest.raises(CpuError):
+            cpu.run(max_steps=10_000)
+
+
+class TestControlFlow:
+    def test_jmp_skips(self):
+        cpu = run([
+            (Op.JMP, 10),         # skip the next instruction (5 bytes each)
+            (Op.PUSH, 99),
+            (Op.HALT, 0),
+        ])
+        assert cpu.stack == []
+
+    def test_jz_taken_and_not_taken(self):
+        taken = run([(Op.PUSH, 0), (Op.JZ, 15), (Op.PUSH, 1), (Op.HALT, 0)])
+        assert taken.stack == []
+        not_taken = run([(Op.PUSH, 5), (Op.JZ, 15), (Op.PUSH, 1), (Op.HALT, 0)])
+        assert not_taken.stack == [1]
+
+    def test_call_ret(self):
+        # 0: CALL 15 / 5: PUSH 7 / 10: HALT / 15: PUSH 1 / 20: RET
+        cpu = run([
+            (Op.CALL, 15),
+            (Op.PUSH, 7),
+            (Op.HALT, 0),
+            (Op.PUSH, 1),
+            (Op.RET, 0),
+        ])
+        assert cpu.stack == [1, 7]
+
+    def test_ret_without_call_faults(self):
+        with pytest.raises(CpuError):
+            run([(Op.RET, 0)])
+
+    def test_loop_counts_cycles(self):
+        # Count down from 3: PUSH 3; loop: DEC; DUP; JNZ loop; HALT
+        cpu = run([
+            (Op.PUSH, 3),
+            (Op.DEC, 0),
+            (Op.DUP, 0),
+            (Op.JNZ, 5),
+            (Op.HALT, 0),
+        ])
+        assert cpu.stack == [0]
+        assert cpu.cycles == 1 + 3 * 3 + 1
+
+
+class TestMemory:
+    def test_load_store(self):
+        cpu = run([
+            (Op.PUSH, 0xAB), (Op.STORE, 0x100),
+            (Op.LOAD, 0x100), (Op.HALT, 0),
+        ])
+        assert cpu.stack == [0xAB]
+
+    def test_indirect_access(self):
+        cpu = run([
+            (Op.PUSH, 0x55),      # value
+            (Op.PUSH, 0x200),     # address
+            (Op.STOREI, 0),
+            (Op.PUSH, 0x200),
+            (Op.LOADI, 0),
+            (Op.HALT, 0),
+        ])
+        assert cpu.stack == [0x55]
+
+    def test_word_access(self):
+        cpu = run([
+            (Op.PUSH, 123456), (Op.STOREW, 0x100),
+            (Op.LOADW, 0x100), (Op.HALT, 0),
+        ])
+        assert cpu.stack == [123456]
+
+    def test_negative_word_roundtrip(self):
+        cpu = run([
+            (Op.PUSH, -42), (Op.STOREW, 0x100),
+            (Op.LOADW, 0x100), (Op.HALT, 0),
+        ])
+        assert cpu.stack == [-42]
+
+    def test_memory_fault(self):
+        with pytest.raises(CpuError):
+            run([(Op.LOAD, 70000), (Op.HALT, 0)])
+
+
+class TestIo:
+    def test_ports(self):
+        cpu = StackCpu()
+        inputs = iter([10, 20])
+        outputs = []
+        cpu.map_port(1, read=lambda: next(inputs))
+        cpu.map_port(2, write=outputs.append)
+        cpu.load_program([
+            (Op.IN, 1), (Op.IN, 1), (Op.ADD, 0), (Op.OUT, 2), (Op.HALT, 0),
+        ])
+        cpu.run()
+        assert outputs == [30]
+
+    def test_unmapped_port_faults(self):
+        with pytest.raises(CpuError):
+            run([(Op.IN, 9), (Op.HALT, 0)])
+
+    def test_out_masks_to_byte(self):
+        cpu = StackCpu()
+        outputs = []
+        cpu.map_port(0, write=outputs.append)
+        cpu.load_program([(Op.PUSH, 0x1FF), (Op.OUT, 0), (Op.HALT, 0)])
+        cpu.run()
+        assert outputs == [0xFF]
+
+
+class TestExecutionControl:
+    def test_illegal_opcode(self):
+        cpu = StackCpu()
+        cpu.load(b"\xff\x00\x00\x00\x00")
+        with pytest.raises(CpuError):
+            cpu.step()
+
+    def test_run_respects_max_steps(self):
+        cpu = StackCpu()
+        cpu.load_program([(Op.JMP, 0)])  # infinite loop
+        executed = cpu.run(max_steps=100)
+        assert executed == 100
+        assert not cpu.halted
+
+    def test_reset(self):
+        cpu = run([(Op.PUSH, 1), (Op.HALT, 0)])
+        cpu.reset()
+        assert cpu.stack == [] and cpu.pc == 0 and not cpu.halted
+
+    def test_step_after_halt_is_noop(self):
+        cpu = run([(Op.HALT, 0)])
+        cycles = cpu.cycles
+        cpu.step()
+        assert cpu.cycles == cycles
+
+    def test_program_too_big_rejected(self):
+        cpu = StackCpu(memory_size=8)
+        with pytest.raises(CpuError):
+            cpu.load(encode_program([(Op.NOP, 0), (Op.NOP, 0)]))

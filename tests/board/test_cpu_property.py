@@ -1,0 +1,86 @@
+"""Property tests: the ISS computes what Python computes.
+
+Random RPN expressions are compiled to stack-machine programs and the
+machine's result is compared against direct evaluation — the strongest
+cheap correctness check an interpreter can get.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board import Op, StackCpu
+
+
+# An expression tree: leaves are small ints, nodes are binary operators.
+_BINOPS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+}
+
+_leaf = st.integers(-1000, 1000)
+_expr = st.recursive(
+    _leaf,
+    lambda children: st.tuples(
+        st.sampled_from(sorted(_BINOPS, key=int)), children, children
+    ),
+    max_leaves=12,
+)
+
+
+def compile_expr(expr, program):
+    """Append stack ops computing ``expr``; return its Python value."""
+    if isinstance(expr, int):
+        program.append((Op.PUSH, expr))
+        return expr
+    op, left, right = expr
+    lhs = compile_expr(left, program)
+    rhs = compile_expr(right, program)
+    program.append((op, 0))
+    return _BINOPS[op](lhs, rhs)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_expr)
+def test_machine_matches_python(expr):
+    program = []
+    expected = compile_expr(expr, program)
+    program.append((Op.HALT, 0))
+    cpu = StackCpu()
+    cpu.load_program(program)
+    cpu.run()
+    assert cpu.stack == [expected]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_leaf, min_size=1, max_size=20))
+def test_memory_words_round_trip(values):
+    cpu = StackCpu()
+    program = []
+    for index, value in enumerate(values):
+        program.append((Op.PUSH, value))
+        program.append((Op.STOREW, 0x400 + 4 * index))
+    for index in range(len(values)):
+        program.append((Op.LOADW, 0x400 + 4 * index))
+    program.append((Op.HALT, 0))
+    cpu.load_program(program)
+    cpu.run()
+    assert cpu.stack == values
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=30))
+def test_firmware_checksum_matches_sum(data):
+    from repro.board import firmware
+    import struct
+
+    blob, symbols = firmware.checksum_program(bytes(data))
+    cpu = StackCpu()
+    cpu.load(blob)
+    cpu.run()
+    result = struct.unpack_from("<i", cpu.memory, symbols["result"])[0]
+    assert result == sum(data)

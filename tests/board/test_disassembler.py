@@ -1,0 +1,103 @@
+"""Disassembler: inverse of the assembler for the code section."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board import Op, StackCpu, assemble
+from repro.board.assembler import _NO_OPERAND
+from repro.board.cpu import INSTRUCTION_SIZE, encode_program
+from repro.board.disassembler import decode_one, disassemble, listing
+
+
+class TestDecode:
+    def test_single_instruction(self):
+        blob = encode_program([(Op.PUSH, 42)])
+        instruction = decode_one(blob, 0)
+        assert instruction.op is Op.PUSH
+        assert instruction.operand == 42
+
+    def test_negative_operand(self):
+        blob = encode_program([(Op.PUSH, -7)])
+        assert decode_one(blob, 0).operand == -7
+
+    def test_illegal_opcode_raises(self):
+        with pytest.raises(ValueError, match="illegal opcode"):
+            decode_one(b"\xff\x00\x00\x00\x00", 0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="outside memory"):
+            decode_one(b"\x00" * 4, 0)
+
+
+class TestDisassemble:
+    def test_stops_at_halt(self):
+        blob = encode_program([
+            (Op.PUSH, 1), (Op.HALT, 0), (Op.PUSH, 2),
+        ])
+        ops = [i.op for i in disassemble(blob)]
+        assert ops == [Op.PUSH, Op.HALT]
+
+    def test_count_limit(self):
+        blob = encode_program([(Op.NOP, 0)] * 10)
+        assert len(disassemble(blob, count=3, stop_at_halt=False)) == 3
+
+    def test_stops_at_data_section(self):
+        source = """
+            PUSH 1
+            HALT
+        data: .byte 255 255 255 255 255
+        """
+        blob, _symbols = assemble(source)
+        ops = [i.op for i in disassemble(blob, stop_at_halt=False)]
+        assert ops[-1] is Op.HALT  # the 0xff data bytes are not decoded
+
+    def test_roundtrip_through_assembler(self):
+        source = """
+        start:
+            PUSH 10
+        loop:
+            DEC
+            DUP
+            JNZ loop
+            HALT
+        """
+        blob, symbols = assemble(source)
+        instructions = disassemble(blob)
+        assert [i.op for i in instructions] == [
+            Op.PUSH, Op.DEC, Op.DUP, Op.JNZ, Op.HALT,
+        ]
+        assert instructions[3].operand == symbols["loop"]
+
+    def test_listing_annotates_labels(self):
+        source = """
+        start:
+            PUSH 5
+        loop:
+            DEC
+            DUP
+            JNZ loop
+            HALT
+        """
+        blob, symbols = assemble(source)
+        text = listing(blob, symbols)
+        assert "loop:" in text
+        assert "JNZ loop" in text
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(sorted(set(Op) - {Op.HALT}, key=int)),
+        st.integers(-2**31, 2**31 - 1),
+    ),
+    min_size=1, max_size=20,
+))
+def test_encode_decode_roundtrip(pairs):
+    program = [
+        (op, 0 if op in _NO_OPERAND else operand) for op, operand in pairs
+    ]
+    program.append((Op.HALT, 0))
+    blob = encode_program(program)
+    decoded = [(i.op, i.operand) for i in disassemble(blob)]
+    assert decoded == program

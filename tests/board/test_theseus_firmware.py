@@ -1,0 +1,129 @@
+"""Theseus board under simulated time + canned firmware."""
+
+import struct
+
+import pytest
+
+from repro.board import StackCpu, TheseusBoard, firmware
+from repro.des import Simulator
+from repro.hw import ClientBridge
+
+from tests.tpwire.test_transport import build_network
+
+
+class TestFirmwarePrograms:
+    def test_send_buffer_streams_data(self):
+        data = b"factory-data"
+        blob, _ = firmware.send_buffer_program(data)
+        cpu = StackCpu()
+        sent = []
+        cpu.map_port(1, write=sent.append)
+        cpu.load(blob)
+        cpu.run()
+        assert bytes(sent) == data
+
+    def test_echo_program(self):
+        blob, _ = firmware.echo_program(4)
+        cpu = StackCpu()
+        incoming = list(b"abcd")
+        outgoing = []
+        cpu.map_port(2, read=lambda: incoming.pop(0) if incoming else -1)
+        cpu.map_port(3, read=lambda: len(incoming))
+        cpu.map_port(1, write=outgoing.append)
+        cpu.load(blob)
+        cpu.run()
+        assert bytes(outgoing) == b"abcd"
+
+    def test_checksum_program(self):
+        data = bytes(range(1, 30))
+        blob, symbols = firmware.checksum_program(data)
+        cpu = StackCpu()
+        cpu.load(blob)
+        cpu.run()
+        result = struct.unpack_from("<i", cpu.memory, symbols["result"])[0]
+        assert result == sum(data)
+
+    def test_space_client_program_parses_header_length(self):
+        request = b"REQ"
+        blob, symbols = firmware.space_client_program(request, max_response=64)
+        cpu = StackCpu()
+        sent = []
+        # Response: 11-byte protocol header declaring a 5-byte body.
+        response = b"TS" + bytes([0x82]) + b"\x00\x00\x00\x01" + b"\x00\x00\x00\x05" + b"BODY!"
+        incoming = list(response)
+        cpu.map_port(1, write=sent.append)
+        cpu.map_port(2, read=lambda: incoming.pop(0) if incoming else -1)
+        cpu.map_port(3, read=lambda: len(incoming))
+        cpu.load(blob)
+        cpu.run(max_steps=200_000)
+        assert cpu.halted
+        assert bytes(sent) == request
+        total = struct.unpack_from("<i", cpu.memory, symbols["total"])[0]
+        assert total == len(response)
+        received = bytes(cpu.memory[symbols["response"]:symbols["response"] + total])
+        assert received == response
+
+    def test_firmware_validation(self):
+        with pytest.raises(ValueError):
+            firmware.echo_program(0)
+        with pytest.raises(ValueError):
+            firmware.send_buffer_program(b"")
+        with pytest.raises(ValueError):
+            firmware.space_client_program(b"", 64)
+        with pytest.raises(ValueError):
+            firmware.space_client_program(b"x", 4)
+
+
+class TestTheseusBoard:
+    def test_cpu_advances_with_simulated_time(self):
+        sim = Simulator()
+        board = TheseusBoard(sim, instructions_per_second=1000.0, batch_size=10)
+        blob, _ = firmware.checksum_program(bytes(100))
+        board.load_firmware(blob)
+        board.start()
+        sim.run(until=10.0)
+        assert board.halted
+        # ~5 instructions per byte plus setup: well over 100 cycles.
+        assert board.cpu.cycles > 100
+        assert sim.now >= board.cpu.cycles / 1000.0 - 0.1
+
+    def test_console_port(self):
+        sim = Simulator()
+        board = TheseusBoard(sim)
+        blob, _ = firmware.send_buffer_program(b"hi")
+        # Rebuild to write to console instead: just poke port 0 directly.
+        board.cpu.map_port(0, write=board._console_write)
+        board._console_write(ord("h"))
+        assert bytes(board.console_output) == b"h"
+
+    def test_board_through_bridge_and_bus(self):
+        """Firmware bytes cross the SC1 bridge and the TpWIRE bus."""
+        sim = Simulator()
+        _bus, _master, _fabric, endpoints, poller = build_network(
+            sim, node_ids=(1, 3)
+        )
+        bridge = ClientBridge(sim, endpoints[1], server_node_id=3)
+        received = []
+        endpoints[3].on_data = lambda src, data, ctx: received.append(data)
+        board = TheseusBoard(sim, instructions_per_second=50_000.0)
+        board.connect_bridge(bridge)
+        blob, _ = firmware.send_buffer_program(b"board-to-server")
+        board.load_firmware(blob)
+        poller.start()
+        board.start()
+        sim.run(until=120.0)
+        assert board.halted
+        assert b"".join(received) == b"board-to-server"
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TheseusBoard(sim, instructions_per_second=0)
+        with pytest.raises(ValueError):
+            TheseusBoard(sim, batch_size=0)
+
+    def test_tx_before_bridge_faults(self):
+        sim = Simulator()
+        board = TheseusBoard(sim)
+        with pytest.raises(RuntimeError):
+            board._tx_write(1)

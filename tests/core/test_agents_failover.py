@@ -1,0 +1,92 @@
+"""Figure 1: redundant actuators with tuplespace failover."""
+
+import pytest
+
+from repro.core import SimClock, TupleSpace
+from repro.core.agents import ActuatorAgent, ControlAgent, state_template
+from repro.des import Simulator
+
+
+def build(n_actuators=2, tick=1.0, fail_at=None, run_until=20.0):
+    sim = Simulator()
+    space = TupleSpace(clock=SimClock(sim))
+    control = ControlAgent(sim, space, group="pump")
+    actuators = [
+        ActuatorAgent(
+            sim, space, group="pump", rank=i, tick=tick,
+            fail_at=fail_at if i == 0 else None,
+        )
+        for i in range(n_actuators)
+    ]
+    control.start()
+    for actuator in actuators:
+        actuator.start()
+    sim.run(until=run_until)
+    return sim, space, control, actuators
+
+
+class TestStartup:
+    def test_exactly_one_operating(self):
+        _sim, _space, _control, actuators = build()
+        roles = [a.state for a in actuators]
+        assert roles.count(ActuatorAgent.OPERATING) == 1
+        assert roles.count(ActuatorAgent.BACKUP) == 1
+
+    def test_first_claimer_wins(self):
+        """The timestamp total order resolves the start-tuple race."""
+        _sim, _space, _control, actuators = build(n_actuators=4)
+        assert actuators[0].state == ActuatorAgent.OPERATING
+        assert all(
+            a.history[0][1] == ActuatorAgent.BACKUP for a in actuators[1:]
+        )
+
+    def test_control_loop_starts_after_pickup(self):
+        _sim, _space, control, _actuators = build()
+        assert control.control_started_at is not None
+        assert control.control_started_at < 1.0
+
+    def test_operating_heartbeats_consumed_by_backup(self):
+        _sim, space, _control, actuators = build(run_until=10.0)
+        # Backups consume the heartbeat each tick: no unbounded buildup.
+        leftover = 0
+        while space.take_if_exists(state_template("pump")) is not None:
+            leftover += 1
+        assert leftover <= 3
+
+
+class TestFailover:
+    def test_backup_promotes_after_failure(self):
+        _sim, _space, _control, actuators = build(fail_at=5.0, run_until=30.0)
+        primary, backup = actuators
+        assert primary.failed
+        assert backup.state == ActuatorAgent.OPERATING
+        # The backup's history shows the promotion.
+        roles = [role for _t, role in backup.history]
+        assert roles == [ActuatorAgent.BACKUP, ActuatorAgent.OPERATING]
+
+    def test_promotion_happens_within_two_ticks(self):
+        _sim, _space, _control, actuators = build(
+            tick=1.0, fail_at=5.0, run_until=30.0
+        )
+        backup = actuators[1]
+        promotion_time = backup.history[-1][0]
+        assert promotion_time <= 5.0 + 2.5
+
+    def test_promoted_actuator_heartbeats(self):
+        _sim, _space, _control, actuators = build(fail_at=5.0, run_until=30.0)
+        backup = actuators[1]
+        assert backup.ticks_executed > 5
+
+    def test_exactly_one_promotion_among_many_backups(self):
+        _sim, _space, _control, actuators = build(
+            n_actuators=4, fail_at=5.0, run_until=40.0
+        )
+        operating = [
+            a for a in actuators[1:] if a.state == ActuatorAgent.OPERATING
+        ]
+        assert len(operating) == 1
+
+    def test_no_failure_no_promotion(self):
+        _sim, _space, _control, actuators = build(run_until=30.0)
+        assert actuators[1].state == ActuatorAgent.BACKUP
+        assert actuators[0].ticks_executed >= 25

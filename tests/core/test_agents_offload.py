@@ -1,0 +1,94 @@
+"""Sec. 2.1: producer/consumer FFT offload over the space."""
+
+import math
+
+import pytest
+
+from repro.core import SimClock, TupleSpace
+from repro.core.agents import ConsumerAgent, ProducerAgent, dft_magnitudes
+from repro.des import Simulator
+
+
+def build(n_producers=2, n_consumers=1, n_jobs=5, service_time=0.2, run_until=200.0):
+    sim = Simulator(seed=7)
+    space = TupleSpace(clock=SimClock(sim))
+    producers = [
+        ProducerAgent(sim, space, producer_id=i, n_jobs=n_jobs,
+                      samples_per_job=8, interval=0.1)
+        for i in range(n_producers)
+    ]
+    consumers = [
+        ConsumerAgent(sim, space, consumer_id=i, service_time=service_time)
+        for i in range(n_consumers)
+    ]
+    for agent in producers + consumers:
+        agent.start()
+    sim.run(until=run_until)
+    return sim, space, producers, consumers
+
+
+class TestDft:
+    def test_dc_component(self):
+        magnitudes = dft_magnitudes([1.0, 1.0, 1.0, 1.0])
+        assert magnitudes[0] == pytest.approx(4.0)
+        assert magnitudes[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_tone(self):
+        n = 8
+        samples = [math.cos(2 * math.pi * i / n) for i in range(n)]
+        magnitudes = dft_magnitudes(samples)
+        assert magnitudes[1] == pytest.approx(n / 2, rel=1e-6)
+        assert magnitudes[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty(self):
+        assert dft_magnitudes([]) == []
+
+
+class TestOffload:
+    def test_all_jobs_complete(self):
+        _sim, space, producers, consumers = build()
+        assert all(p.completed == p.n_jobs for p in producers)
+        assert sum(c.jobs_served for c in consumers) == sum(
+            p.n_jobs for p in producers
+        )
+        assert len(space) == 0  # no leaked tuples
+
+    def test_results_are_correct_spectra(self):
+        sim = Simulator(seed=1)
+        space = TupleSpace(clock=SimClock(sim))
+        producer = ProducerAgent(sim, space, producer_id=0, n_jobs=1,
+                                 samples_per_job=4)
+        consumer = ConsumerAgent(sim, space, consumer_id=0, service_time=0.1)
+        producer.start()
+        consumer.start()
+        sim.run(until=20.0)
+        assert producer.completed == 1
+        assert producer.response_times[0] >= 0.1  # at least the service time
+
+    def test_consumers_share_load(self):
+        _sim, _space, producers, consumers = build(
+            n_producers=4, n_consumers=2, n_jobs=6
+        )
+        served = [c.jobs_served for c in consumers]
+        assert sum(served) == 24
+        assert min(served) > 0  # both consumers participated
+
+    def test_more_consumers_cut_response_time(self):
+        """Sec. 2.1: 'overall system performance are clearly proportional
+        to the number of consumers'."""
+        def mean_response(n_consumers):
+            _s, _sp, producers, _c = build(
+                n_producers=6, n_consumers=n_consumers, n_jobs=4,
+                service_time=0.5,
+            )
+            times = [t for p in producers for t in p.response_times]
+            return sum(times) / len(times)
+
+        slow = mean_response(1)
+        fast = mean_response(4)
+        assert fast < slow / 2
+
+    def test_producer_mean_response_time(self):
+        _sim, _space, producers, _consumers = build()
+        for producer in producers:
+            assert producer.mean_response_time > 0

@@ -1,0 +1,35 @@
+"""The ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("table3", "table4", "fullstack", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["table4", "--quick"])
+        assert args.quick is True
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_table3_quick(self, capsys):
+        assert main(["table3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "scaling factor" in out
+        assert "Table 3" in out
+
+    def test_table4_quick(self, capsys):
+        assert main(["table4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Out of Time" in out
+        assert "1-wire" in out

@@ -1,0 +1,84 @@
+"""Leases and the lease manager."""
+
+import math
+
+import pytest
+
+from repro.core import FOREVER, Lease, LeaseManager, ManualClock
+from repro.core.errors import LeaseDeniedError, LeaseExpiredError
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+class TestLease:
+    def test_remaining_counts_down(self, clock):
+        lease = Lease(clock, 10.0)
+        clock.advance(4.0)
+        assert lease.remaining() == pytest.approx(6.0)
+
+    def test_expiry(self, clock):
+        lease = Lease(clock, 10.0)
+        clock.advance(10.0)
+        assert lease.expired
+        assert lease.remaining() == 0.0
+
+    def test_forever_never_expires(self, clock):
+        lease = Lease(clock, FOREVER)
+        clock.advance(1e12)
+        assert not lease.expired
+        assert math.isinf(lease.remaining())
+
+    def test_renew_extends(self, clock):
+        lease = Lease(clock, 10.0)
+        clock.advance(5.0)
+        lease.renew(20.0)
+        assert lease.remaining() == pytest.approx(20.0)
+
+    def test_renew_expired_rejected(self, clock):
+        lease = Lease(clock, 1.0)
+        clock.advance(2.0)
+        with pytest.raises(LeaseExpiredError):
+            lease.renew(10.0)
+
+    def test_renew_bad_duration(self, clock):
+        lease = Lease(clock, 10.0)
+        with pytest.raises(LeaseDeniedError):
+            lease.renew(-1.0)
+
+    def test_cancel_runs_hook_once(self, clock):
+        calls = []
+        lease = Lease(clock, 10.0, on_cancel=calls.append)
+        lease.cancel()
+        lease.cancel()
+        assert len(calls) == 1
+        assert lease.expired
+
+    def test_nonpositive_duration_rejected(self, clock):
+        with pytest.raises(LeaseDeniedError):
+            Lease(clock, 0.0)
+
+
+class TestLeaseManager:
+    def test_default_duration(self, clock):
+        manager = LeaseManager(clock, default_lease=30.0)
+        assert manager.grant().duration == 30.0
+
+    def test_clamped_to_max(self, clock):
+        manager = LeaseManager(clock, max_lease=60.0)
+        assert manager.grant(1000.0).duration == 60.0
+
+    def test_explicit_duration(self, clock):
+        manager = LeaseManager(clock)
+        assert manager.grant(12.0).duration == 12.0
+
+    def test_bad_request_rejected(self, clock):
+        manager = LeaseManager(clock)
+        with pytest.raises(LeaseDeniedError):
+            manager.grant(-5.0)
+
+    def test_bad_bounds_rejected(self, clock):
+        with pytest.raises(LeaseDeniedError):
+            LeaseManager(clock, max_lease=0.0)

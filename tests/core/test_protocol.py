@@ -1,0 +1,144 @@
+"""Wire protocol framing and the incremental stream parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Entry,
+    LindaTuple,
+    Message,
+    MessageType,
+    StreamParser,
+    XmlCodec,
+    encode_message,
+)
+from repro.core.errors import ProtocolError
+from repro.core.protocol import HEADER, MAX_BODY
+
+
+class Job(Entry):
+    def __init__(self, kind=None, size=None):
+        self.kind = kind
+        self.size = size
+
+
+@pytest.fixture
+def codec():
+    c = XmlCodec()
+    c.register(Job)
+    return c
+
+
+class TestEncoding:
+    def test_header_layout(self, codec):
+        wire = encode_message(Message(MessageType.PING, 7), codec)
+        magic, msg_type, request_id, length = HEADER.unpack(wire[: HEADER.size])
+        assert magic == b"TS"
+        assert msg_type == int(MessageType.PING)
+        assert request_id == 7
+        assert length == 0
+
+    def test_empty_message_is_header_only(self, codec):
+        wire = encode_message(Message(MessageType.PING, 1), codec)
+        assert len(wire) == HEADER.size
+
+    def test_params_and_item_roundtrip(self, codec):
+        message = Message(
+            MessageType.WRITE, 3, {"lease": 160.0}, Job("fft", 128)
+        )
+        wire = encode_message(message, codec)
+        parsed = StreamParser(codec).feed(wire)
+        assert len(parsed) == 1
+        decoded = parsed[0]
+        assert decoded.msg_type is MessageType.WRITE
+        assert decoded.request_id == 3
+        assert decoded.param_float("lease") == 160.0
+        assert decoded.item == Job("fft", 128)
+
+    def test_param_accessors(self):
+        message = Message(MessageType.WRITE, 1, {"lease": "2.5", "n": "7"})
+        assert message.param_float("lease") == 2.5
+        assert message.param_int("n") == 7
+        assert message.param_float("missing", 9.0) == 9.0
+        assert message.param_int("missing") is None
+        with pytest.raises(ProtocolError):
+            message.param_float("n2") or Message(
+                MessageType.WRITE, 1, {"bad": "xx"}
+            ).param_float("bad")
+
+
+class TestStreamParser:
+    def test_multiple_messages_in_one_chunk(self, codec):
+        wire = b"".join(
+            encode_message(Message(MessageType.PING, i), codec)
+            for i in range(3)
+        )
+        messages = StreamParser(codec).feed(wire)
+        assert [m.request_id for m in messages] == [0, 1, 2]
+
+    def test_byte_at_a_time_feeding(self, codec):
+        wire = encode_message(
+            Message(MessageType.TAKE, 9, {"timeout": 5}, Job(kind="x")), codec
+        )
+        parser = StreamParser(codec)
+        messages = []
+        for i in range(len(wire)):
+            messages.extend(parser.feed(wire[i : i + 1]))
+        assert len(messages) == 1
+        assert messages[0].item == Job(kind="x")
+
+    def test_bad_magic_raises(self, codec):
+        parser = StreamParser(codec)
+        with pytest.raises(ProtocolError, match="magic"):
+            parser.feed(b"XX" + b"\x00" * 20)
+
+    def test_unknown_type_raises(self, codec):
+        wire = bytearray(encode_message(Message(MessageType.PING, 1), codec))
+        wire[2] = 0x7F
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            StreamParser(codec).feed(bytes(wire))
+
+    def test_oversized_body_rejected(self, codec):
+        header = HEADER.pack(b"TS", int(MessageType.PING), 1, MAX_BODY + 1)
+        with pytest.raises(ProtocolError, match="too large"):
+            StreamParser(codec).feed(header)
+
+    def test_buffered_bytes(self, codec):
+        wire = encode_message(Message(MessageType.PING, 1), codec)
+        parser = StreamParser(codec)
+        parser.feed(wire[:5])
+        assert parser.buffered_bytes == 5
+
+    def test_counter(self, codec):
+        parser = StreamParser(codec)
+        parser.feed(encode_message(Message(MessageType.PING, 1), codec))
+        assert parser.messages_parsed == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([MessageType.PING, MessageType.WRITE_ACK,
+                             MessageType.RESULT_NULL]),
+            st.integers(0, 2**32 - 1),
+        ),
+        min_size=1, max_size=10,
+    ),
+    st.randoms(),
+)
+def test_chunking_invariance(messages, rng):
+    """However the byte stream is chunked, the same messages come out."""
+    codec = XmlCodec()
+    wire = b"".join(
+        encode_message(Message(mt, rid), codec) for mt, rid in messages
+    )
+    parser = StreamParser(codec)
+    out = []
+    position = 0
+    while position < len(wire):
+        step = rng.randint(1, 7)
+        out.extend(parser.feed(wire[position : position + step]))
+        position += step
+    assert [(m.msg_type, m.request_id) for m in out] == messages

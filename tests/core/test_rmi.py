@@ -1,0 +1,120 @@
+"""RMI-analog proxies."""
+
+import pytest
+
+from repro.core import Registry
+from repro.core.rmi import RmiError, Skeleton
+
+
+class Calculator:
+    def __init__(self):
+        self.calls = 0
+
+    def add(self, a, b):
+        self.calls += 1
+        return a + b
+
+    def fill(self, target):
+        target.append("filled")
+        return target
+
+    def _secret(self):
+        return "hidden"
+
+
+class TestProxying:
+    def test_method_call_forwarded(self):
+        registry = Registry()
+        registry.bind("calc", Calculator())
+        proxy = registry.lookup("calc")
+        assert proxy.add(2, 3) == 5
+
+    def test_private_methods_not_exposed(self):
+        registry = Registry()
+        registry.bind("calc", Calculator())
+        proxy = registry.lookup("calc")
+        with pytest.raises(AttributeError):
+            proxy._secret()
+
+    def test_explicit_exposure_list(self):
+        registry = Registry()
+        registry.bind("calc", Calculator(), exposed=["add"])
+        proxy = registry.lookup("calc")
+        with pytest.raises(RmiError):
+            proxy.fill([])
+
+    def test_proxy_attributes_read_only(self):
+        registry = Registry()
+        registry.bind("calc", Calculator())
+        proxy = registry.lookup("calc")
+        with pytest.raises(AttributeError):
+            proxy.add = lambda: None
+
+    def test_invocation_counter(self):
+        target = Calculator()
+        skeleton = Skeleton(target)
+        skeleton.invoke("add", (1, 2), {})
+        skeleton.invoke("add", (3, 4), {})
+        assert skeleton.invocations == 2
+
+
+class TestPassByValue:
+    def test_isolated_arguments_not_mutated(self):
+        registry = Registry()
+        registry.bind("calc", Calculator(), isolate=True)
+        proxy = registry.lookup("calc")
+        mine = ["original"]
+        result = proxy.fill(mine)
+        assert mine == ["original"]       # my copy untouched (RMI semantics)
+        assert result == ["original", "filled"]
+
+    def test_shared_reference_without_isolation(self):
+        registry = Registry()
+        registry.bind("calc", Calculator(), isolate=False)
+        proxy = registry.lookup("calc")
+        mine = []
+        proxy.fill(mine)
+        assert mine == ["filled"]
+
+
+class TestRegistry:
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(RmiError):
+            Registry().lookup("ghost")
+
+    def test_double_bind_rejected(self):
+        registry = Registry()
+        registry.bind("x", Calculator())
+        with pytest.raises(RmiError):
+            registry.bind("x", Calculator())
+
+    def test_rebind_replaces(self):
+        registry = Registry()
+        first = Calculator()
+        second = Calculator()
+        registry.bind("x", first)
+        registry.rebind("x", second)
+        registry.lookup("x").add(1, 1)
+        assert second.calls == 1 and first.calls == 0
+
+    def test_unbind(self):
+        registry = Registry()
+        registry.bind("x", Calculator())
+        registry.unbind("x")
+        with pytest.raises(RmiError):
+            registry.lookup("x")
+        with pytest.raises(RmiError):
+            registry.unbind("x")
+
+    def test_names(self):
+        registry = Registry()
+        registry.bind("b", Calculator())
+        registry.bind("a", Calculator())
+        assert registry.names() == ["a", "b"]
+
+    def test_call_hook_observes_invocations(self):
+        observed = []
+        registry = Registry(call_hook=lambda name, method: observed.append((name, method)))
+        registry.bind("calc", Calculator())
+        registry.lookup("calc").add(1, 2)
+        assert observed == [("calc", "add")]

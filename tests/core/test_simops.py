@@ -1,0 +1,126 @@
+"""Blocking space ops for DES processes."""
+
+import pytest
+
+from repro.core import LindaTuple, SimClock, TupleSpace, TupleTemplate
+from repro.core.simops import space_read, space_take
+from repro.des import Simulator
+
+
+def t(*fields):
+    return LindaTuple(*fields)
+
+
+def tpl(*patterns):
+    return TupleTemplate(*patterns)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    return sim, TupleSpace(clock=SimClock(sim))
+
+
+class TestSpaceTake:
+    def test_blocks_until_write(self, world):
+        sim, space = world
+        got = []
+
+        def taker():
+            item = yield space_take(sim, space, tpl("a"))
+            got.append((sim.now, item))
+
+        sim.spawn(taker())
+        sim.after(3.0, space.write, t("a"))
+        sim.run()
+        assert got == [(3.0, t("a"))]
+        assert len(space) == 0
+
+    def test_immediate_when_present(self, world):
+        sim, space = world
+        space.write(t("a"))
+        got = []
+
+        def taker():
+            got.append((yield space_take(sim, space, tpl("a"))))
+
+        sim.spawn(taker())
+        sim.run()
+        assert got == [t("a")]
+
+    def test_timeout_yields_none(self, world):
+        sim, space = world
+        got = []
+
+        def taker():
+            got.append((yield space_take(sim, space, tpl("a"), timeout=5.0)))
+
+        sim.spawn(taker())
+        sim.run()
+        assert got == [None]
+        assert sim.now == pytest.approx(5.0)
+
+    def test_write_after_timeout_stays(self, world):
+        sim, space = world
+
+        def taker():
+            yield space_take(sim, space, tpl("a"), timeout=5.0)
+
+        sim.spawn(taker())
+        sim.after(10.0, space.write, t("a"))
+        sim.run()
+        assert len(space) == 1
+
+    def test_timer_cancelled_on_success(self, world):
+        sim, space = world
+
+        def taker():
+            yield space_take(sim, space, tpl("a"), timeout=100.0)
+
+        sim.spawn(taker())
+        sim.after(1.0, space.write, t("a"))
+        sim.run()
+        assert sim.now == pytest.approx(1.0)  # no lingering 100 s timer
+
+    def test_competing_takers_fifo(self, world):
+        sim, space = world
+        order = []
+
+        def taker(name):
+            item = yield space_take(sim, space, tpl("a", int))
+            order.append((name, item[1]))
+
+        sim.spawn(taker("first"))
+        sim.spawn(taker("second"))
+        sim.after(1.0, space.write, t("a", 1))
+        sim.after(2.0, space.write, t("a", 2))
+        sim.run()
+        assert order == [("first", 1), ("second", 2)]
+
+
+class TestSpaceRead:
+    def test_read_leaves_item(self, world):
+        sim, space = world
+        got = []
+
+        def reader():
+            got.append((yield space_read(sim, space, tpl("a"))))
+
+        sim.spawn(reader())
+        sim.after(1.0, space.write, t("a"))
+        sim.run()
+        assert got == [t("a")]
+        assert len(space) == 1
+
+    def test_many_readers_one_write(self, world):
+        sim, space = world
+        got = []
+
+        def reader(i):
+            got.append((yield space_read(sim, space, tpl("a"))))
+
+        for i in range(3):
+            sim.spawn(reader(i))
+        sim.after(1.0, space.write, t("a"))
+        sim.run()
+        assert got == [t("a")] * 3

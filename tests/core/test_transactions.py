@@ -1,0 +1,152 @@
+"""Transactions: isolation, commit, abort."""
+
+import pytest
+
+from repro.core import LindaTuple, ManualClock, Transaction, TupleSpace, TupleTemplate
+from repro.core.errors import TransactionError
+from repro.core.space import WaitMode
+
+
+def t(*fields):
+    return LindaTuple(*fields)
+
+
+def tpl(*patterns):
+    return TupleTemplate(*patterns)
+
+
+@pytest.fixture
+def space():
+    return TupleSpace(clock=ManualClock())
+
+
+class TestWriteIsolation:
+    def test_txn_write_invisible_outside(self, space):
+        txn = Transaction(space)
+        space.write(t("a"), txn=txn)
+        assert space.read_if_exists(tpl("a")) is None
+
+    def test_txn_write_visible_inside(self, space):
+        txn = Transaction(space)
+        space.write(t("a"), txn=txn)
+        assert space.read_if_exists(tpl("a"), txn=txn) is not None
+
+    def test_commit_publishes(self, space):
+        txn = Transaction(space)
+        space.write(t("a"), txn=txn)
+        txn.commit()
+        assert space.read_if_exists(tpl("a")) is not None
+
+    def test_abort_discards(self, space):
+        txn = Transaction(space)
+        space.write(t("a"), txn=txn)
+        txn.abort()
+        assert space.read_if_exists(tpl("a")) is None
+        assert len(space) == 0
+
+    def test_commit_serves_blocked_waiters(self, space):
+        got = []
+        space.register_waiter(tpl("a"), WaitMode.TAKE, got.append)
+        txn = Transaction(space)
+        space.write(t("a"), txn=txn)
+        assert got == []
+        txn.commit()
+        assert got == [t("a")]
+
+
+class TestTakeIsolation:
+    def test_txn_take_hides_entry(self, space):
+        space.write(t("a"))
+        txn = Transaction(space)
+        assert space.take_if_exists(tpl("a"), txn=txn) is not None
+        assert space.read_if_exists(tpl("a")) is None  # provisionally gone
+
+    def test_commit_finalises_take(self, space):
+        space.write(t("a"))
+        txn = Transaction(space)
+        space.take_if_exists(tpl("a"), txn=txn)
+        txn.commit()
+        assert len(space) == 0
+
+    def test_abort_restores_taken_entry(self, space):
+        space.write(t("a"))
+        txn = Transaction(space)
+        space.take_if_exists(tpl("a"), txn=txn)
+        txn.abort()
+        assert space.read_if_exists(tpl("a")) is not None
+
+    def test_abort_restoration_serves_waiters(self, space):
+        space.write(t("a"))
+        txn = Transaction(space)
+        space.take_if_exists(tpl("a"), txn=txn)
+        got = []
+        space.register_waiter(tpl("a"), WaitMode.TAKE, got.append)
+        txn.abort()
+        assert got == [t("a")]
+
+    def test_same_txn_cannot_retake(self, space):
+        space.write(t("a"))
+        txn = Transaction(space)
+        assert space.take_if_exists(tpl("a"), txn=txn) is not None
+        assert space.take_if_exists(tpl("a"), txn=txn) is None
+
+
+class TestLifecycle:
+    def test_commit_twice_rejected(self, space):
+        txn = Transaction(space)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_operations_after_resolution_rejected(self, space):
+        txn = Transaction(space)
+        txn.abort()
+        with pytest.raises(TransactionError):
+            space.write(t("a"), txn=txn)
+
+    def test_context_manager_commits(self, space):
+        with Transaction(space) as txn:
+            space.write(t("a"), txn=txn)
+        assert space.read_if_exists(tpl("a")) is not None
+
+    def test_context_manager_aborts_on_error(self, space):
+        with pytest.raises(RuntimeError):
+            with Transaction(space) as txn:
+                space.write(t("a"), txn=txn)
+                raise RuntimeError("boom")
+        assert space.read_if_exists(tpl("a")) is None
+
+    def test_explicit_resolution_inside_block_respected(self, space):
+        with Transaction(space) as txn:
+            space.write(t("a"), txn=txn)
+            txn.abort()
+        assert space.read_if_exists(tpl("a")) is None
+
+    def test_abort_of_write_then_take_leaves_nothing(self, space):
+        """Regression: taking one's own uncommitted write, then aborting,
+        must not resurrect the entry (found by the stateful model test)."""
+        got = []
+        txn = Transaction(space)
+        space.write(t("ghost"), txn=txn)
+        assert space.take_if_exists(tpl("ghost"), txn=txn) is not None
+        space.register_waiter(tpl("ghost"), WaitMode.TAKE, got.append)
+        txn.abort()
+        assert got == []
+        assert len(space) == 0
+
+    def test_commit_of_write_then_take_leaves_nothing(self, space):
+        txn = Transaction(space)
+        space.write(t("ghost"), txn=txn)
+        assert space.take_if_exists(tpl("ghost"), txn=txn) is not None
+        txn.commit()
+        assert len(space) == 0
+        assert space.read_if_exists(tpl("ghost")) is None
+
+    def test_atomic_move_between_patterns(self, space):
+        """A classic Linda idiom: take + write atomically."""
+        space.write(t("pending", 7))
+        with Transaction(space) as txn:
+            job = space.take_if_exists(tpl("pending", int), txn=txn)
+            space.write(t("active", job[1]), txn=txn)
+        assert space.read_if_exists(tpl("pending", int)) is None
+        assert space.read_if_exists(tpl("active", int)) == t("active", 7)

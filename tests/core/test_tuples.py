@@ -1,0 +1,90 @@
+"""Linda tuples and templates."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ANY, LindaTuple, TupleTemplate
+
+
+class TestLindaTuple:
+    def test_fields_and_arity(self):
+        t = LindaTuple("fft", 3, [1.0])
+        assert t.arity == 3
+        assert t[0] == "fft"
+        assert list(t) == ["fft", 3, [1.0]]
+
+    def test_immutability(self):
+        t = LindaTuple(1)
+        with pytest.raises(AttributeError):
+            t.fields = (2,)
+
+    def test_equality_and_hash(self):
+        assert LindaTuple("a", 1) == LindaTuple("a", 1)
+        assert LindaTuple("a", 1) != LindaTuple("a", 2)
+        assert hash(LindaTuple("a", 1)) == hash(LindaTuple("a", 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LindaTuple()
+
+
+class TestMatching:
+    def test_actual_match(self):
+        assert TupleTemplate("job", 7).matches(LindaTuple("job", 7))
+        assert not TupleTemplate("job", 8).matches(LindaTuple("job", 7))
+
+    def test_formal_match_by_type(self):
+        template = TupleTemplate("job", int)
+        assert template.matches(LindaTuple("job", 7))
+        assert not template.matches(LindaTuple("job", "seven"))
+
+    def test_any_matches_everything(self):
+        template = TupleTemplate(ANY, ANY)
+        assert template.matches(LindaTuple("x", [1, 2]))
+        assert template.matches(LindaTuple(None, object()))
+
+    def test_arity_must_match(self):
+        assert not TupleTemplate("a").matches(LindaTuple("a", 1))
+        assert not TupleTemplate("a", ANY).matches(LindaTuple("a"))
+
+    def test_non_tuple_never_matches(self):
+        assert not TupleTemplate(ANY).matches("not a tuple")
+        assert not TupleTemplate(ANY).matches(("plain", "tuple"))
+
+    def test_bool_is_not_int_formal(self):
+        """Typed fields distinguish bool from int."""
+        assert not TupleTemplate(int).matches(LindaTuple(True))
+        assert TupleTemplate(bool).matches(LindaTuple(True))
+
+    def test_mixed_actuals_and_formals(self):
+        template = TupleTemplate("sensor", int, float, ANY)
+        assert template.matches(LindaTuple("sensor", 3, 21.5, {"extra": 1}))
+        assert not template.matches(LindaTuple("sensor", 3.0, 21.5, None))
+
+    def test_exact_template(self):
+        t = LindaTuple("a", 1, 2.5)
+        assert TupleTemplate.exact(t).matches(t)
+        assert not TupleTemplate.exact(t).matches(LindaTuple("a", 1, 2.6))
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(ValueError):
+            TupleTemplate()
+
+    def test_repr_shows_formals(self):
+        assert "int" in repr(TupleTemplate("x", int))
+
+
+@given(st.lists(
+    st.one_of(st.integers(), st.text(max_size=5), st.floats(allow_nan=False)),
+    min_size=1, max_size=6,
+))
+def test_exact_template_always_matches_its_tuple(fields):
+    t = LindaTuple(*fields)
+    assert TupleTemplate.exact(t).matches(t)
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=6))
+def test_all_formal_int_template_matches_int_tuples(fields):
+    t = LindaTuple(*fields)
+    assert TupleTemplate(*([int] * len(fields))).matches(t)

@@ -1,0 +1,47 @@
+"""Table 3 calibration machinery."""
+
+import pytest
+
+from repro.cosim import derive_scaling_factor, run_validation_suite
+
+
+@pytest.fixture(scope="module")
+def points():
+    # Module-scoped: the bit-level runs are the expensive part.
+    return run_validation_suite([5, 10, 20])
+
+
+class TestValidationSuite:
+    def test_point_per_workload(self, points):
+        assert [p.n_packets for p in points] == [5, 10, 20]
+
+    def test_frame_counts_agree_between_models(self, points):
+        for point in points:
+            # Identical protocol state machines: the frame counts of the
+            # two models agree to within retry/boundary effects.
+            assert abs(point.reference.total_frames - point.model.total_frames) <= 4
+
+    def test_model_timing_close_to_reference(self, points):
+        for point in points:
+            assert point.timing_error < 0.15
+
+    def test_times_scale_linearly(self, points):
+        ratio = points[-1].reference_seconds / points[0].reference_seconds
+        assert ratio == pytest.approx(20 / 5, rel=0.25)
+
+
+class TestScalingFactor:
+    def test_factor_near_unity(self, points):
+        factor = derive_scaling_factor(points)
+        assert 0.85 <= factor <= 1.15
+
+    def test_factor_corrects_model(self, points):
+        """Scaled model times are closer to the reference than raw ones."""
+        factor = derive_scaling_factor(points)
+        raw_error = sum(
+            abs(p.model_seconds - p.reference_seconds) for p in points
+        )
+        corrected_error = sum(
+            abs(factor * p.model_seconds - p.reference_seconds) for p in points
+        )
+        assert corrected_error < raw_error

@@ -1,0 +1,45 @@
+"""The Sec. 4.3 Ethernet alternative carrying the same workload."""
+
+import pytest
+
+from repro.cosim import (
+    CaseStudyConfig,
+    CaseStudyScenario,
+    EthernetCaseStudy,
+    EthernetConfig,
+)
+
+
+class TestEthernetCaseStudy:
+    def test_operation_completes(self):
+        result = EthernetCaseStudy().run()
+        assert result.completed
+        assert result.switch_packets >= 4  # write, ack, take, entry
+
+    def test_processing_dominates_not_the_wire(self):
+        """At 10 Mbit/s the wire time is microseconds: the elapsed time is
+        almost entirely endpoint processing."""
+        result = EthernetCaseStudy().run()
+        wire_time = result.wire_bytes * 8 / 10_000_000.0
+        assert wire_time < 0.05
+        assert result.elapsed_seconds > 100 * wire_time
+
+    def test_much_faster_than_tpwire(self):
+        """The §4.3 trade-off, quantified: Ethernet is an order of
+        magnitude faster — but needs an active device."""
+        ethernet = EthernetCaseStudy().run()
+        tpwire = CaseStudyScenario(CaseStudyConfig()).run(max_sim_time=4000.0)
+        assert ethernet.elapsed_seconds < tpwire.elapsed_seconds / 5
+        assert ethernet.active_devices == 1  # the switch TpWIRE avoids
+
+    def test_bandwidth_insensitive_in_this_regime(self):
+        """10 vs 100 Mbit/s barely changes the result (endpoint-bound)."""
+        slow = EthernetCaseStudy(EthernetConfig(bandwidth_bps=1e7)).run()
+        fast = EthernetCaseStudy(EthernetConfig(bandwidth_bps=1e8)).run()
+        assert fast.elapsed_seconds == pytest.approx(
+            slow.elapsed_seconds, rel=0.02
+        )
+
+    def test_unfinished_run_raises(self):
+        with pytest.raises(RuntimeError):
+            EthernetCaseStudy().run(max_sim_time=0.001)

@@ -1,0 +1,95 @@
+"""The simulated server host behind the SC2 bridge."""
+
+import pytest
+
+from repro.core import (
+    LindaTuple,
+    SimClock,
+    SpaceServer,
+    TupleSpace,
+    TupleTemplate,
+    XmlCodec,
+)
+from repro.core.server import SimTimers
+from repro.core.protocol import Message, MessageType, StreamParser, encode_message
+from repro.cosim import ServerTimingModel, SimServerHost, build_bus_system
+from repro.des import Simulator
+from repro.hw import ServerBridge
+
+
+def build(timing=ServerTimingModel()):
+    sim = Simulator()
+    system = build_bus_system(sim, [1, 3])
+    codec = XmlCodec()
+    space = TupleSpace(clock=SimClock(sim))
+    server = SpaceServer(space, codec, timers=SimTimers(sim))
+    bridge = ServerBridge(sim, system.endpoint(3))
+    host = SimServerHost(sim, server, bridge, timing)
+    return sim, system, codec, space, host
+
+
+class TestRequestPath:
+    def test_request_over_bus_gets_response(self):
+        sim, system, codec, space, host = build()
+        system.start()
+        wire = encode_message(
+            Message(MessageType.WRITE, 1, {"lease": 600},
+                    LindaTuple("a", 1)),
+            codec,
+        )
+        replies = []
+        parser = StreamParser(codec)
+        system.endpoint(1).on_data = (
+            lambda src, data, ctx: replies.extend(parser.feed(data))
+        )
+        system.endpoint(1).send(3, wire)
+        sim.run(until=120.0)
+        assert len(space) == 1
+        assert replies and replies[0].msg_type is MessageType.WRITE_ACK
+
+    def test_processing_time_charged(self):
+        fast_world = build()
+        slow_world = build(ServerTimingModel(
+            parse_seconds_per_byte=0.05, build_seconds_per_byte=0.05,
+            request_overhead=1.0,
+        ))
+
+        def response_time(world):
+            sim, system, codec, _space, _host = world
+            system.start()
+            done = []
+            system.endpoint(1).on_data = lambda s, d, c: done.append(sim.now)
+            wire = encode_message(Message(MessageType.PING, 1), codec)
+            system.endpoint(1).send(3, wire)
+            sim.run(until=300.0)
+            return done[0]
+
+        assert response_time(slow_world) > response_time(fast_world) + 1.0
+
+    def test_per_client_sessions(self):
+        sim, system, codec, space, host = build()
+        # add another client endpoint on the same bus
+        sim2 = sim  # same world; add node 2 is not possible post-build, so
+        # exercise sessions via two requests from the same node instead.
+        system.start()
+        replies = []
+        parser = StreamParser(codec)
+        system.endpoint(1).on_data = (
+            lambda src, data, ctx: replies.extend(parser.feed(data))
+        )
+        for rid in (1, 2):
+            system.endpoint(1).send(
+                3, encode_message(Message(MessageType.PING, rid), codec)
+            )
+        sim.run(until=120.0)
+        assert [r.request_id for r in replies] == [1, 2]
+        assert host.requests_dispatched == 2
+
+    def test_byte_counters(self):
+        sim, system, codec, _space, host = build()
+        system.start()
+        wire = encode_message(Message(MessageType.PING, 1), codec)
+        system.endpoint(1).send(3, wire)
+        sim.run(until=60.0)
+        assert host.bytes_received == len(wire)
+        assert host.bytes_sent == len(wire)  # PONG is also header-only

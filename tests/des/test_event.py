@@ -1,0 +1,66 @@
+"""Events: ordering, cancellation, firing."""
+
+import pytest
+
+from repro.des.event import Event, EventState
+
+
+def make(time, seq=0, priority=0, sink=None):
+    sink = sink if sink is not None else []
+    return Event(time, seq, sink.append, ("x",), priority)
+
+
+class TestOrdering:
+    def test_orders_by_time(self):
+        assert make(1.0, seq=2) < make(2.0, seq=1)
+
+    def test_same_time_orders_by_priority(self):
+        assert Event(1.0, 2, print, priority=-1) < Event(1.0, 1, print, priority=0)
+
+    def test_same_time_same_priority_orders_by_seq(self):
+        assert Event(1.0, 1, print) < Event(1.0, 2, print)
+
+    def test_sort_key_shape(self):
+        event = Event(3.5, 7, print, priority=2)
+        assert event.sort_key == (3.5, 2, 7)
+
+
+class TestLifecycle:
+    def test_starts_pending(self):
+        assert make(0.0).state is EventState.PENDING
+        assert make(0.0).pending
+
+    def test_fire_invokes_callback_with_args(self):
+        sink = []
+        event = Event(0.0, 1, sink.append, ("payload",))
+        event.fire()
+        assert sink == ["payload"]
+        assert event.state is EventState.FIRED
+
+    def test_cancel_prevents_fire(self):
+        sink = []
+        event = Event(0.0, 1, sink.append, ("payload",))
+        assert event.cancel() is True
+        event.fire()
+        assert sink == []
+        assert event.cancelled
+
+    def test_cancel_after_fire_returns_false(self):
+        event = make(0.0)
+        event.fire()
+        assert event.cancel() is False
+
+    def test_double_cancel_returns_false(self):
+        event = make(0.0)
+        assert event.cancel() is True
+        assert event.cancel() is False
+
+    def test_fire_is_idempotent(self):
+        sink = []
+        event = Event(0.0, 1, sink.append, ("x",))
+        event.fire()
+        event.fire()
+        assert sink == ["x"]
+
+    def test_repr_mentions_state(self):
+        assert "pending" in repr(make(1.0))

@@ -1,0 +1,110 @@
+"""Statistics monitors."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.des import RateMonitor, Simulator, TallyMonitor, TimeWeightedMonitor
+
+
+class TestTallyMonitor:
+    def test_mean_min_max(self):
+        monitor = TallyMonitor()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            monitor.observe(value)
+        assert monitor.mean == pytest.approx(2.5)
+        assert monitor.minimum == 1.0
+        assert monitor.maximum == 4.0
+        assert monitor.count == 4
+
+    def test_variance_matches_textbook(self):
+        monitor = TallyMonitor()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            monitor.observe(value)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert monitor.variance == pytest.approx(expected)
+        assert monitor.stddev == pytest.approx(math.sqrt(expected))
+
+    def test_empty_stats_are_nan(self):
+        monitor = TallyMonitor()
+        assert math.isnan(monitor.mean)
+        assert math.isnan(monitor.variance)
+
+    def test_percentiles(self):
+        monitor = TallyMonitor()
+        for value in range(1, 101):
+            monitor.observe(float(value))
+        assert monitor.percentile(50) == 50.0
+        assert monitor.percentile(99) == 99.0
+        assert monitor.percentile(100) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        monitor = TallyMonitor()
+        monitor.observe(1.0)
+        with pytest.raises(ValueError):
+            monitor.percentile(101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=100))
+    def test_welford_matches_direct_computation(self, values):
+        monitor = TallyMonitor()
+        for value in values:
+            monitor.observe(value)
+        assert monitor.mean == pytest.approx(sum(values) / len(values), abs=1e-6)
+
+
+class TestTimeWeightedMonitor:
+    def test_time_average_of_step_function(self):
+        sim = Simulator()
+        monitor = TimeWeightedMonitor(sim, initial=0.0)
+        sim.after(2.0, monitor.set, 10.0)
+        sim.after(4.0, monitor.set, 0.0)
+        sim.run(until=10.0)
+        # 2s at 0, 2s at 10, 6s at 0 -> integral 20 over 10s.
+        assert monitor.integral() == pytest.approx(20.0)
+        assert monitor.time_average() == pytest.approx(2.0)
+
+    def test_increment_decrement(self):
+        sim = Simulator()
+        monitor = TimeWeightedMonitor(sim)
+        monitor.increment()
+        monitor.increment()
+        monitor.decrement()
+        assert monitor.value == 1.0
+
+    def test_utilization_pattern(self):
+        sim = Simulator()
+        busy = TimeWeightedMonitor(sim)
+        sim.after(1.0, busy.set, 1.0)
+        sim.after(3.0, busy.set, 0.0)
+        sim.run(until=4.0)
+        assert busy.time_average() == pytest.approx(0.5)
+
+
+class TestRateMonitor:
+    def test_event_and_amount_rates(self):
+        sim = Simulator()
+        monitor = RateMonitor(sim)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.at(t, monitor.tick, 100)
+        sim.run(until=8.0)
+        assert monitor.count == 4
+        assert monitor.event_rate == pytest.approx(0.5)
+        assert monitor.amount_rate == pytest.approx(50.0)
+
+    def test_rate_is_nan_with_no_elapsed_time(self):
+        sim = Simulator()
+        monitor = RateMonitor(sim)
+        assert math.isnan(monitor.event_rate)
+
+    def test_reset(self):
+        sim = Simulator()
+        monitor = RateMonitor(sim)
+        sim.at(1.0, monitor.tick)
+        sim.run(until=2.0)
+        monitor.reset()
+        assert monitor.count == 0
+        assert monitor.elapsed == 0.0

@@ -1,0 +1,42 @@
+"""Deterministic random streams."""
+
+from repro.des import StreamRegistry
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = StreamRegistry(5).stream("cbr").random()
+        b = StreamRegistry(5).stream("cbr").random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = StreamRegistry(1).stream("cbr").random()
+        b = StreamRegistry(2).stream("cbr").random()
+        assert a != b
+
+    def test_different_names_independent(self):
+        registry = StreamRegistry(1)
+        a = [registry.stream("a").random() for _ in range(5)]
+        b = [registry.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        first = StreamRegistry(9)
+        lone = [first.stream("x").random() for _ in range(10)]
+
+        second = StreamRegistry(9)
+        second.stream("y").random()  # an extra stream created in between
+        interleaved = [second.stream("x").random() for _ in range(10)]
+        assert lone == interleaved
+
+    def test_stream_cached(self):
+        registry = StreamRegistry(0)
+        assert registry.stream("s") is registry.stream("s")
+
+    def test_names_and_contains(self):
+        registry = StreamRegistry(0)
+        registry.stream("b")
+        registry.stream("a")
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry
+        assert "zzz" not in registry

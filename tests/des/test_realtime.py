@@ -1,0 +1,85 @@
+"""Real-time scheduler mode (with a fake wall clock)."""
+
+import pytest
+
+from repro.des import RealTimeRunner, Simulator
+
+
+class FakeWall:
+    """Deterministic wall clock: sleep() advances it exactly."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, duration):
+        self.sleeps.append(duration)
+        self.now += duration
+
+
+def make_runner(scale=1.0, max_drift=0.05):
+    sim = Simulator()
+    wall = FakeWall()
+    runner = RealTimeRunner(
+        sim, scale=scale, max_drift=max_drift,
+        clock=wall.clock, sleep=wall.sleep,
+    )
+    return sim, wall, runner
+
+
+class TestPacing:
+    def test_events_are_paced_to_wall_clock(self):
+        sim, wall, runner = make_runner(scale=1.0)
+        fired = []
+        sim.after(1.0, fired.append, "a")
+        sim.after(2.5, fired.append, "b")
+        runner.run()
+        assert fired == ["a", "b"]
+        assert wall.now == pytest.approx(2.5)
+
+    def test_scale_compresses_time(self):
+        sim, wall, runner = make_runner(scale=0.1)
+        sim.after(10.0, lambda: None)
+        runner.run()
+        assert wall.now == pytest.approx(1.0)
+
+    def test_until_limits_run(self):
+        sim, wall, runner = make_runner()
+        fired = []
+        sim.after(1.0, fired.append, 1)
+        sim.after(100.0, fired.append, 2)
+        runner.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_wall_elapsed_for(self):
+        _sim, _wall, runner = make_runner(scale=2.0)
+        assert runner.wall_elapsed_for(3.0) == 6.0
+
+    def test_invalid_scale_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            RealTimeRunner(sim, scale=0.0)
+
+
+class TestDriftDetection:
+    def test_slow_handler_flags_drift(self):
+        sim, wall, runner = make_runner(max_drift=0.01)
+
+        def slow_handler():
+            wall.now += 0.5  # handler takes 0.5s of wall time
+
+        sim.after(1.0, slow_handler)
+        sim.after(1.1, lambda: None)  # due 0.1s later; we are 0.4s late
+        runner.run()
+        assert runner.drift_exceeded
+        assert runner.worst_drift == pytest.approx(0.4)
+
+    def test_no_drift_when_on_schedule(self):
+        sim, _wall, runner = make_runner()
+        sim.after(1.0, lambda: None)
+        runner.run()
+        assert not runner.drift_exceeded

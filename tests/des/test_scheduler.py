@@ -1,0 +1,135 @@
+"""Both scheduler queues: ordering, cancellation, and heap/calendar parity."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.errors import SchedulerError
+from repro.des.event import Event
+from repro.des.scheduler import CalendarQueueScheduler, HeapScheduler
+
+
+def make_event(time, seq, priority=0):
+    return Event(time, seq, lambda: None, (), priority)
+
+
+SCHEDULERS = [HeapScheduler, lambda: CalendarQueueScheduler(nbuckets=4, width=0.5)]
+
+
+@pytest.mark.parametrize("factory", SCHEDULERS, ids=["heap", "calendar"])
+class TestBasics:
+    def test_pop_returns_earliest(self, factory):
+        queue = factory()
+        queue.push(make_event(5.0, 1))
+        queue.push(make_event(1.0, 2))
+        queue.push(make_event(3.0, 3))
+        assert queue.pop().time == 1.0
+        assert queue.pop().time == 3.0
+        assert queue.pop().time == 5.0
+
+    def test_len_counts_pending(self, factory):
+        queue = factory()
+        assert len(queue) == 0
+        queue.push(make_event(1.0, 1))
+        queue.push(make_event(2.0, 2))
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self, factory):
+        with pytest.raises(SchedulerError):
+            factory().pop()
+
+    def test_cancelled_events_are_skipped(self, factory):
+        queue = factory()
+        first = make_event(1.0, 1)
+        second = make_event(2.0, 2)
+        queue.push(first)
+        queue.push(second)
+        first.cancel()
+        queue.notify_cancelled()
+        assert queue.pop() is second
+
+    def test_peek_time_empty_is_none(self, factory):
+        assert factory().peek_time() is None
+
+    def test_peek_time_skips_cancelled(self, factory):
+        queue = factory()
+        first = make_event(1.0, 1)
+        queue.push(first)
+        queue.push(make_event(4.0, 2))
+        first.cancel()
+        queue.notify_cancelled()
+        assert queue.peek_time() == 4.0
+
+    def test_fifo_for_equal_times(self, factory):
+        queue = factory()
+        events = [make_event(1.0, seq) for seq in range(1, 6)]
+        for event in events:
+            queue.push(event)
+        assert [queue.pop().seq for _ in events] == [1, 2, 3, 4, 5]
+
+    def test_priority_orders_within_time(self, factory):
+        queue = factory()
+        queue.push(make_event(1.0, 1, priority=5))
+        queue.push(make_event(1.0, 2, priority=-5))
+        assert queue.pop().priority == -5
+
+
+class TestCalendarQueueSpecifics:
+    def test_resize_preserves_order(self):
+        queue = CalendarQueueScheduler(nbuckets=4, width=1.0)
+        rng = random.Random(42)
+        times = [rng.uniform(0, 50) for _ in range(300)]
+        for seq, t in enumerate(times):
+            queue.push(make_event(t, seq))
+        popped = [queue.pop().time for _ in times]
+        assert popped == sorted(times)
+
+    def test_far_future_events_found(self):
+        queue = CalendarQueueScheduler(nbuckets=4, width=0.1)
+        queue.push(make_event(1000.0, 1))
+        assert queue.pop().time == 1000.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SchedulerError):
+            CalendarQueueScheduler(nbuckets=0)
+        with pytest.raises(SchedulerError):
+            CalendarQueueScheduler(width=0.0)
+
+    def test_interleaved_push_pop(self):
+        queue = CalendarQueueScheduler()
+        rng = random.Random(7)
+        seq = 0
+        last_popped = 0.0
+        pending = []
+        for _ in range(500):
+            if pending and rng.random() < 0.4:
+                event = queue.pop()
+                assert event.time >= last_popped
+                last_popped = event.time
+                pending.remove(event.time)
+            else:
+                seq += 1
+                t = last_popped + rng.uniform(0, 5)
+                queue.push(make_event(t, seq))
+                pending.append(t)
+        while len(queue):
+            event = queue.pop()
+            assert event.time >= last_popped
+            last_popped = event.time
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_heap_and_calendar_agree(times):
+    heap = HeapScheduler()
+    calendar = CalendarQueueScheduler()
+    for seq, t in enumerate(times):
+        heap.push(make_event(t, seq))
+        calendar.push(make_event(t, seq))
+    heap_order = [(e.time, e.seq) for e in (heap.pop() for _ in times)]
+    calendar_order = [(e.time, e.seq) for e in (calendar.pop() for _ in times)]
+    assert heap_order == calendar_order == sorted(heap_order)

@@ -1,0 +1,56 @@
+"""Trace recorder."""
+
+from repro.des import TraceRecorder
+from repro.des.trace import TraceRecord
+
+
+class TestRecording:
+    def test_records_are_kept(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "+", "n0", "n1", "cbr", 210)
+        trace.record(2.0, "r", "n0", "n1", "cbr", 210)
+        assert len(trace) == 2
+        assert trace.records[0].time == 1.0
+
+    def test_disabled_recorder_drops(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "+", "a", "b", "x")
+        assert len(trace) == 0
+
+    def test_filter_applies(self):
+        trace = TraceRecorder(filter=lambda rec: rec.kind == "cbr")
+        trace.record(1.0, "+", "a", "b", "cbr")
+        trace.record(1.0, "+", "a", "b", "tcp")
+        assert len(trace) == 1
+
+    def test_sink_receives_formatted_lines(self):
+        lines = []
+        trace = TraceRecorder(sink=lines.append, keep=False)
+        trace.record(1.5, "+", "n0", "n1", "cbr", 210, flow=3)
+        assert len(trace) == 0
+        assert lines == ["+ 1.500000 n0 n1 cbr 210 flow=3\n"]
+
+    def test_queries(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "+", "a", "b", "cbr")
+        trace.record(2.0, "d", "a", "b", "cbr")
+        trace.record(3.0, "+", "a", "b", "tcp")
+        assert len(trace.of_kind("cbr")) == 2
+        assert len(trace.with_code("d")) == 1
+        assert len(list(trace.between(1.5, 2.5))) == 1
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "+", "a", "b", "x")
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestFormat:
+    def test_ns2_like_line(self):
+        record = TraceRecord(1.84375, "+", "0", "2", "cbr", 210)
+        assert record.format() == "+ 1.843750 0 2 cbr 210"
+
+    def test_info_fields_sorted(self):
+        record = TraceRecord(1.0, "r", "a", "b", "x", 0, {"z": 1, "a": 2})
+        assert record.format().endswith("a=2 z=1")

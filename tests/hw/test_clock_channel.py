@@ -1,0 +1,103 @@
+"""Clock generator and FIFO channel."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.hw import Clock, HwFifo, HwKernel, HwModule, wait_change
+
+
+@pytest.fixture
+def world():
+    sim = Simulator()
+    return sim, HwKernel(sim)
+
+
+class TestClock:
+    def test_period_and_cycles(self, world):
+        sim, kernel = world
+        clock = Clock(kernel, period=1.0)
+        sim.run(until=10.0)
+        assert clock.cycles == 11  # edges at 0, 1, ..., 10
+
+    def test_duty_cycle_times(self, world):
+        sim, kernel = world
+        clock = Clock(kernel, period=1.0, duty=0.25)
+        transitions = []
+
+        class Watcher(HwModule):
+            def build(self):
+                self.method(
+                    lambda: transitions.append((sim.now, clock.out.read())),
+                    sensitive=[clock.out], initialize=False,
+                )
+
+        Watcher(kernel)
+        sim.run(until=2.0)
+        assert transitions[:4] == [
+            (0.0, 1), (0.25, 0), (1.0, 1), (1.25, 0),
+        ]
+
+    def test_frequency(self, world):
+        _sim, kernel = world
+        assert Clock(kernel, period=0.01).frequency == pytest.approx(100.0)
+
+    def test_validation(self, world):
+        _sim, kernel = world
+        with pytest.raises(ValueError):
+            Clock(kernel, period=0.0)
+        with pytest.raises(ValueError):
+            Clock(kernel, period=1.0, duty=1.0)
+
+
+class TestHwFifo:
+    def test_write_read(self, world):
+        _sim, kernel = world
+        fifo = HwFifo(kernel, capacity=2)
+        assert fifo.try_write("a")
+        assert fifo.try_write("b")
+        assert not fifo.try_write("c")  # full
+        assert fifo.try_read() == (True, "a")
+        assert fifo.peek() == "b"
+        assert fifo.try_read() == (True, "b")
+        assert fifo.try_read() == (False, None)
+
+    def test_level_signal_wakes_consumer(self, world):
+        sim, kernel = world
+        fifo = HwFifo(kernel, capacity=4)
+        consumed = []
+
+        class Consumer(HwModule):
+            def build(self):
+                self.thread(self.run)
+
+            def run(self):
+                while len(consumed) < 2:
+                    ok, item = fifo.try_read()
+                    if ok:
+                        consumed.append((sim.now, item))
+                    else:
+                        yield wait_change(fifo.level)
+
+        Consumer(kernel)
+        sim.after(1.0, fifo.try_write, "x")
+        sim.after(2.0, fifo.try_write, "y")
+        sim.run()
+        assert consumed == [(1.0, "x"), (2.0, "y")]
+
+    def test_counters(self, world):
+        _sim, kernel = world
+        fifo = HwFifo(kernel)
+        fifo.try_write(1)
+        fifo.try_read()
+        assert fifo.total_written == 1
+        assert fifo.total_read == 1
+
+    def test_peek_empty_raises(self, world):
+        _sim, kernel = world
+        with pytest.raises(IndexError):
+            HwFifo(kernel).peek()
+
+    def test_capacity_validation(self, world):
+        _sim, kernel = world
+        with pytest.raises(ValueError):
+            HwFifo(kernel, capacity=0)

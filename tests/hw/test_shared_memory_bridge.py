@@ -1,0 +1,140 @@
+"""Shared-memory channels and the SC1/SC2 bridges."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.hw import ClientBridge, ServerBridge, SharedMemoryChannel
+
+from tests.tpwire.test_transport import build_network
+
+
+class TestSharedMemoryChannel:
+    def test_write_read(self):
+        sim = Simulator()
+        channel = SharedMemoryChannel(sim)
+        assert channel.write(b"abc")
+        assert channel.read() == b"abc"
+        assert len(channel) == 0
+
+    def test_partial_read(self):
+        sim = Simulator()
+        channel = SharedMemoryChannel(sim)
+        channel.write(b"abcdef")
+        assert channel.read(2) == b"ab"
+        assert channel.read() == b"cdef"
+
+    def test_capacity_rejects_overflow(self):
+        sim = Simulator()
+        channel = SharedMemoryChannel(sim, capacity=4)
+        assert channel.write(b"abcd")
+        assert not channel.write(b"e")
+        assert channel.rejected_writes == 1
+
+    def test_wait_readable_blocks_until_data(self):
+        sim = Simulator()
+        channel = SharedMemoryChannel(sim)
+        got = []
+
+        def consumer():
+            yield channel.wait_readable()
+            got.append((sim.now, channel.read()))
+
+        sim.spawn(consumer())
+        sim.after(2.0, channel.write, b"late")
+        sim.run()
+        assert got == [(2.0, b"late")]
+
+    def test_wait_readable_immediate_when_nonempty(self):
+        sim = Simulator()
+        channel = SharedMemoryChannel(sim)
+        channel.write(b"x")
+        waiter = channel.wait_readable()
+        assert waiter.triggered
+
+    def test_counters(self):
+        sim = Simulator()
+        channel = SharedMemoryChannel(sim)
+        channel.write(b"abc")
+        channel.read()
+        assert channel.total_written == 3
+        assert channel.total_read == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SharedMemoryChannel(Simulator(), capacity=0)
+
+
+class TestBridges:
+    def test_client_bridge_forwards_to_server_bridge(self):
+        sim = Simulator()
+        _bus, _master, _fabric, endpoints, poller = build_network(
+            sim, node_ids=(1, 3)
+        )
+        client_bridge = ClientBridge(sim, endpoints[1], server_node_id=3)
+        received = []
+        ServerBridge(sim, endpoints[3], deliver=lambda src, data: received.append((src, data)))
+        poller.start()
+        client_bridge.to_bus.write(b"request-bytes")
+        sim.run(until=60.0)
+        assert received and received[0][0] == 1
+        assert b"".join(d for _s, d in received) == b"request-bytes"
+
+    def test_server_bridge_replies_to_client(self):
+        sim = Simulator()
+        _bus, _master, _fabric, endpoints, poller = build_network(
+            sim, node_ids=(1, 3)
+        )
+        client_bridge = ClientBridge(sim, endpoints[1], server_node_id=3)
+        server_bridge = ServerBridge(sim, endpoints[3])
+        poller.start()
+        server_bridge.send_to(1, b"reply")
+        sim.run(until=60.0)
+        assert client_bridge.from_bus.read() == b"reply"
+
+    def test_counters(self):
+        sim = Simulator()
+        _bus, _master, _fabric, endpoints, poller = build_network(
+            sim, node_ids=(1, 3)
+        )
+        client_bridge = ClientBridge(sim, endpoints[1], server_node_id=3)
+        server_bridge = ServerBridge(sim, endpoints[3], deliver=lambda s, d: None)
+        poller.start()
+        client_bridge.to_bus.write(b"12345")
+        sim.run(until=60.0)
+        assert client_bridge.forwarded_bytes == 5
+        assert server_bridge.received_bytes == 5
+
+    def test_chunk_size_bounds_bus_sends(self):
+        """The SC1 pump forwards at most chunk_size bytes per send."""
+        sim = Simulator()
+        _bus, _master, _fabric, endpoints, poller = build_network(
+            sim, node_ids=(1, 3)
+        )
+        bridge = ClientBridge(
+            sim, endpoints[1], server_node_id=3, chunk_size=8
+        )
+        sizes = []
+        original_send = endpoints[1].send
+
+        def spy_send(dest, data, context=None):
+            sizes.append(len(data))
+            return original_send(dest, data, context)
+
+        endpoints[1].send = spy_send
+        poller.start()
+        bridge.to_bus.write(bytes(30))
+        sim.run(until=60.0)
+        assert sizes and max(sizes) <= 8
+        assert sum(sizes) == 30
+
+    def test_server_bridge_without_deliver_counts_only(self):
+        sim = Simulator()
+        _bus, _master, _fabric, endpoints, poller = build_network(
+            sim, node_ids=(1, 3)
+        )
+        ClientBridge(sim, endpoints[1], server_node_id=3)
+        server_bridge = ServerBridge(sim, endpoints[3])  # no deliver hook
+        poller.start()
+        endpoints[1].send(3, b"quiet")
+        sim.run(until=60.0)
+        assert server_bridge.received_bytes == 5

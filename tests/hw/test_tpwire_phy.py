@@ -1,0 +1,143 @@
+"""Bit-level TpWIRE PHY: protocol correctness and timing fidelity."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.hw import BitLevelTpwireBus, HwKernel, PhyTiming
+from repro.tpwire import (
+    BusTiming,
+    Command,
+    RxType,
+    TpwireMaster,
+    TpwireSlave,
+    TxFrame,
+    node_address,
+)
+from repro.tpwire.bus import CycleStatus
+from repro.tpwire.commands import BROADCAST_NODE_ID
+from repro.tpwire.errors import TpwireError
+
+
+def build(n_slaves=2, bit_rate=2400.0, seed=1, fw_jitter=0.0):
+    sim = Simulator(seed=seed)
+    kernel = HwKernel(sim)
+    phy = PhyTiming(bit_rate=bit_rate, fw_jitter_bits=fw_jitter)
+    bus = BitLevelTpwireBus(sim, kernel, phy)
+    timing = BusTiming(bit_rate=bit_rate)
+    slaves = {}
+    for node_id in range(1, n_slaves + 1):
+        slave = TpwireSlave(sim, node_id, timing)
+        bus.attach_slave(slave)
+        slaves[node_id] = slave
+    bus.finalize()
+    return sim, bus, slaves
+
+
+def run_cycle(sim, bus, frame):
+    results = []
+    bus.execute(frame).add_callback(lambda w: results.append(w.value))
+    sim.run()
+    return results[0]
+
+
+class TestBitLevelCycles:
+    def test_select_and_ack(self):
+        sim, bus, slaves = build()
+        result = run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(1)))
+        assert result.status is CycleStatus.OK
+        assert result.rx.rtype is RxType.ACK
+        assert slaves[1].selected_space is not None
+
+    def test_deep_slave_reachable(self):
+        sim, bus, slaves = build(n_slaves=4)
+        result = run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(4)))
+        assert result.status is CycleStatus.OK
+        assert slaves[4].selected_space is not None
+
+    def test_write_read_through_bits(self):
+        sim, bus, _slaves = build()
+        master = TpwireMaster(sim, bus)
+        master.run_op(master.op_write_bytes(1, 0x08, b"\xc3\x5a"))
+        sim.run()
+        process = master.run_op(master.op_read_bytes(1, 0x08, 2))
+        sim.run()
+        assert process.value == b"\xc3\x5a"
+
+    def test_missing_node_times_out(self):
+        sim, bus, _slaves = build()
+        result = run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(9)))
+        assert result.status is CycleStatus.TIMEOUT
+        assert bus.timeouts == 1
+
+    def test_broadcast_executes_everywhere(self):
+        sim, bus, slaves = build(n_slaves=3)
+        result = run_cycle(
+            sim, bus, TxFrame(Command.SELECT, node_address(BROADCAST_NODE_ID))
+        )
+        assert result.status is CycleStatus.BROADCAST
+        assert all(s.broadcast_selected for s in slaves.values())
+
+    def test_int_piggyback_through_repeater(self):
+        sim, bus, slaves = build(n_slaves=3)
+        slaves[1].raise_interrupt()
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(3)))
+        result = run_cycle(sim, bus, TxFrame(Command.POLL, 0))
+        assert result.rx.int_pending
+
+    def test_attach_after_finalize_rejected(self):
+        sim, bus, _slaves = build()
+        with pytest.raises(TpwireError):
+            bus.attach_slave(TpwireSlave(sim, 9, BusTiming()))
+
+
+class TestBitLevelTiming:
+    def test_cycle_duration_scales_with_depth(self):
+        sim1, bus1, _ = build(n_slaves=1)
+        run_cycle(sim1, bus1, TxFrame(Command.SELECT, node_address(1)))
+        t_shallow = sim1.now
+
+        sim4, bus4, _ = build(n_slaves=4)
+        run_cycle(sim4, bus4, TxFrame(Command.SELECT, node_address(4)))
+        t_deep = sim4.now
+        # Three extra hops in each direction at 2 bit periods each.
+        expected_extra = 2 * 3 * 2 / 2400.0
+        assert t_deep - t_shallow == pytest.approx(expected_extra, abs=1e-3)
+
+    def test_duration_close_to_packet_model(self):
+        """One cycle's duration agrees with the analytic exchange time
+        within the firmware overhead + sampling quantisation."""
+        sim, bus, _ = build(n_slaves=1)
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(1)))
+        timing = BusTiming(bit_rate=2400)
+        analytic = timing.exchange_duration(1)
+        # fw overhead 6 bits vs gap 4 bits plus <=1.25 bit sampling slack.
+        slack = 6 * (1 / 2400.0)
+        assert abs(sim.now - analytic) < slack
+
+    def test_jitter_makes_cycles_vary(self):
+        sim, bus, _ = build(fw_jitter=2.0, seed=3)
+        durations = []
+
+        def proc():
+            for _ in range(5):
+                start = sim.now
+                yield bus.execute(TxFrame(Command.SELECT, node_address(1)))
+                durations.append(sim.now - start)
+
+        sim.spawn(proc())
+        sim.run()
+        assert len(set(round(d, 9) for d in durations)) > 1
+
+
+class TestPhyTimingValidation:
+    def test_hop_vs_poll_constraint(self):
+        with pytest.raises(ValueError):
+            PhyTiming(hop_delay_bits=0.25, poll_bits=0.5)
+
+    def test_fw_overhead_floor(self):
+        with pytest.raises(ValueError):
+            PhyTiming(fw_overhead_bits=1.0, fw_jitter_bits=1.0)
+
+    def test_bit_rate_positive(self):
+        with pytest.raises(ValueError):
+            PhyTiming(bit_rate=0)

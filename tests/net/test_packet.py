@@ -1,0 +1,34 @@
+"""Packets."""
+
+import pytest
+
+from repro.net import Packet
+
+
+class TestPacket:
+    def test_fields(self):
+        packet = Packet("cbr", 210, src="n0", dst="n1", payload={"k": 1}, flow=7)
+        assert packet.kind == "cbr"
+        assert packet.size == 210
+        assert packet.bits == 1680
+        assert packet.headers == {"flow": 7}
+
+    def test_uids_unique(self):
+        a = Packet("x", 1)
+        b = Packet("x", 1)
+        assert a.uid != b.uid
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet("x", -1)
+
+    def test_copy_preserves_contents_new_uid(self):
+        original = Packet("x", 5, src="a", dst="b", tag=1)
+        original.hops = 3
+        clone = original.copy()
+        assert clone.uid != original.uid
+        assert clone.size == 5 and clone.headers == {"tag": 1}
+        assert clone.hops == 3
+
+    def test_zero_size_allowed(self):
+        assert Packet("ack", 0).bits == 0

@@ -1,0 +1,96 @@
+"""Byte streams over a switched star (the Sec. 4.3 TCP alternative)."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.net.stream import (
+    DEFAULT_MSS,
+    TCP_OVERHEAD,
+    StreamAgent,
+    SwitchAgent,
+    build_switched_star,
+)
+
+
+@pytest.fixture
+def star():
+    sim = Simulator()
+    switch, agents = build_switched_star(
+        sim, ["a", "b", "c"], bandwidth_bps=1_000_000.0
+    )
+    return sim, switch, agents
+
+
+class TestSwitchedStar:
+    def test_stream_delivered_in_order(self, star):
+        sim, _switch, agents = star
+        received = []
+        agents["b"].on_data = lambda src, data: received.append((src, data))
+        agents["a"].send_stream("b", b"hello over ethernet")
+        sim.run()
+        assert b"".join(d for _s, d in received) == b"hello over ethernet"
+        assert received[0][0] == "a"
+
+    def test_segmentation_at_mss(self):
+        sim = Simulator()
+        _switch, agents = build_switched_star(
+            sim, ["a", "b"], mss=10,
+        )
+        chunks = []
+        agents["b"].on_data = lambda src, data: chunks.append(data)
+        agents["a"].send_stream("b", bytes(25))
+        sim.run()
+        assert [len(c) for c in chunks] == [10, 10, 5]
+
+    def test_per_packet_overhead_counted(self, star):
+        sim, _switch, agents = star
+        wire = agents["a"].send_stream("b", bytes(100))
+        assert wire == 100 + TCP_OVERHEAD
+
+    def test_switch_forwards_by_destination(self, star):
+        sim, switch, agents = star
+        sink_b, sink_c = [], []
+        agents["b"].on_data = lambda s, d: sink_b.append(d)
+        agents["c"].on_data = lambda s, d: sink_c.append(d)
+        agents["a"].send_stream("b", b"to-b")
+        agents["a"].send_stream("c", b"to-c")
+        sim.run()
+        assert sink_b == [b"to-b"]
+        assert sink_c == [b"to-c"]
+        assert switch.forwarded_packets == 2
+
+    def test_unroutable_destination_dropped(self, star):
+        sim, switch, agents = star
+        agents["a"].send_stream("ghost", b"lost")
+        sim.run()
+        assert switch.unroutable == 1
+
+    def test_bidirectional(self, star):
+        sim, _switch, agents = star
+        inbox = {"a": [], "b": []}
+        agents["a"].on_data = lambda s, d: inbox["a"].append(d)
+        agents["b"].on_data = lambda s, d: inbox["b"].append(d)
+        agents["a"].send_stream("b", b"ping")
+        agents["b"].send_stream("a", b"pong")
+        sim.run()
+        assert inbox == {"a": [b"pong"], "b": [b"ping"]}
+
+    def test_latency_reflects_two_hops(self):
+        sim = Simulator()
+        _switch, agents = build_switched_star(
+            sim, ["a", "b"], bandwidth_bps=8_000.0, delay=0.01,
+        )
+        arrival = []
+        agents["b"].on_data = lambda s, d: arrival.append(sim.now)
+        agents["a"].send_stream("b", bytes(42))  # 100-byte packet
+        sim.run()
+        # Two serialisations (leaf->hub, hub->leaf) + two prop delays.
+        expected = 2 * (100 * 8 / 8000.0) + 2 * 0.01
+        assert arrival[0] == pytest.approx(expected)
+
+    def test_validation(self, star):
+        sim, _switch, agents = star
+        with pytest.raises(ValueError):
+            agents["a"].send_stream("b", b"")
+        with pytest.raises(ValueError):
+            StreamAgent(sim, hub=None, mss=0)

@@ -1,0 +1,80 @@
+"""NS-2-style TpWIRE agents (Fig. 6 instrumentation)."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.net import CBRSource
+from repro.tpwire import TpwireAgent, TpwireSink
+from repro.tpwire.errors import TpwireError
+
+from tests.tpwire.test_transport import build_network
+
+
+def build_agents(sim):
+    bus, master, fabric, endpoints, poller = build_network(sim, node_ids=(1, 2))
+    agent = TpwireAgent(sim, endpoints[1])
+    sink = TpwireSink(sim, endpoints[2])
+    agent.connect(sink)
+    return bus, poller, agent, sink
+
+
+class TestAgentSink:
+    def test_payload_reaches_sink(self):
+        sim = Simulator()
+        _bus, poller, agent, sink = build_agents(sim)
+        poller.start()
+        agent.send_payload(25)
+        sim.run(until=30.0)
+        assert sink.received_packets == 1
+        assert sink.received_bytes == 25
+
+    def test_latency_recorded(self):
+        sim = Simulator()
+        _bus, poller, agent, sink = build_agents(sim)
+        poller.start()
+        agent.send_payload(10)
+        sim.run(until=30.0)
+        assert sink.latency.count == 1
+        assert sink.latency.mean > 0
+
+    def test_unconnected_send_rejected(self):
+        sim = Simulator()
+        bus, master, fabric, endpoints, _poller = build_network(sim, node_ids=(1, 2))
+        agent = TpwireAgent(sim, endpoints[1])
+        with pytest.raises(TpwireError):
+            agent.send_payload(1)
+
+    def test_bad_size_rejected(self):
+        sim = Simulator()
+        _bus, _poller, agent, _sink = build_agents(sim)
+        with pytest.raises(TpwireError):
+            agent.send_payload(0)
+
+    def test_cbr_driven_agent(self):
+        sim = Simulator()
+        _bus, poller, agent, sink = build_agents(sim)
+        poller.start()
+        cbr = CBRSource(sim, agent, rate_bytes_per_s=2.0, packet_size=1)
+        cbr.start()
+        sim.run(until=20.0)
+        assert sink.received_packets >= 30
+        assert sink.received_bytes == sink.received_packets  # 1-byte packets
+
+    def test_goodput_accounts_only_payload(self):
+        sim = Simulator()
+        _bus, poller, agent, sink = build_agents(sim)
+        poller.start()
+        cbr = CBRSource(sim, agent, rate_bytes_per_s=4.0, packet_size=2)
+        cbr.start()
+        sim.run(until=30.0)
+        assert sink.goodput_bytes_per_s == pytest.approx(4.0, rel=0.3)
+
+    def test_counters(self):
+        sim = Simulator()
+        _bus, poller, agent, sink = build_agents(sim)
+        poller.start()
+        agent.send_payload(5)
+        agent.send_payload(5)
+        sim.run(until=30.0)
+        assert agent.sent_packets == 2
+        assert agent.sent_bytes == 10

@@ -1,0 +1,163 @@
+"""Packet-level bus: cycles, timing, retries, error injection, INT."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.tpwire import (
+    AddressSpace,
+    BitErrorModel,
+    BusTiming,
+    Command,
+    RxType,
+    TpwireBus,
+    TpwireSlave,
+    TxFrame,
+    node_address,
+)
+from repro.tpwire.bus import CycleStatus
+from repro.tpwire.commands import BROADCAST_NODE_ID
+from repro.tpwire.errors import TpwireError
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=2)
+
+
+def build(sim, n_slaves=3, error_model=None, bit_rate=1000.0):
+    timing = BusTiming(bit_rate=bit_rate)
+    bus = TpwireBus(sim, timing, error_model)
+    slaves = []
+    for node_id in range(1, n_slaves + 1):
+        slave = TpwireSlave(sim, node_id, timing)
+        bus.attach_slave(slave)
+        slaves.append(slave)
+    return bus, slaves
+
+
+def run_cycle(sim, bus, frame):
+    results = []
+    bus.execute(frame).add_callback(lambda w: results.append(w.value))
+    sim.run()
+    return results[0]
+
+
+class TestCycles:
+    def test_select_cycle_ok(self, sim):
+        bus, slaves = build(sim)
+        result = run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(2)))
+        assert result.status is CycleStatus.OK
+        assert result.rx.rtype is RxType.ACK
+        assert slaves[1].selected_space is AddressSpace.MEMORY
+
+    def test_cycle_duration_matches_timing(self, sim):
+        bus, _ = build(sim)
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(2)))
+        assert sim.now == pytest.approx(bus.timing.exchange_duration(2))
+
+    def test_no_such_node_times_out(self, sim):
+        bus, _ = build(sim)
+        result = run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(99)))
+        assert result.status is CycleStatus.TIMEOUT
+        assert bus.timeouts == 1
+
+    def test_broadcast_no_reply(self, sim):
+        bus, slaves = build(sim)
+        result = run_cycle(
+            sim, bus, TxFrame(Command.SELECT, node_address(BROADCAST_NODE_ID))
+        )
+        assert result.status is CycleStatus.BROADCAST
+        assert all(s.broadcast_selected for s in slaves)
+
+    def test_cycles_serialize_on_the_line(self, sim):
+        bus, _ = build(sim)
+        done_times = []
+        for _ in range(3):
+            bus.execute(TxFrame(Command.SELECT, node_address(1))).add_callback(
+                lambda w: done_times.append(sim.now)
+            )
+        sim.run()
+        one = bus.timing.exchange_duration(1)
+        assert done_times == pytest.approx([one, 2 * one, 3 * one])
+
+    def test_frame_counters(self, sim):
+        bus, _ = build(sim)
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(1)))
+        assert bus.tx_frames == 1
+        assert bus.rx_frames == 1
+
+    def test_duplicate_node_rejected(self, sim):
+        bus, _ = build(sim)
+        with pytest.raises(TpwireError):
+            bus.attach_slave(TpwireSlave(sim, 1, bus.timing))
+
+    def test_hops_of(self, sim):
+        bus, _ = build(sim)
+        assert bus.hops_of(1) == 1
+        assert bus.hops_of(3) == 3
+        with pytest.raises(TpwireError):
+            bus.hops_of(42)
+
+
+class TestIntPiggyback:
+    def test_intermediate_slave_sets_int(self, sim):
+        bus, slaves = build(sim)
+        slaves[0].raise_interrupt()  # slave 1, between master and slave 3
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(3)))
+        result = run_cycle(sim, bus, TxFrame(Command.POLL, 0))
+        assert result.rx.int_pending
+
+    def test_no_int_when_nobody_pending(self, sim):
+        bus, _ = build(sim)
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(3)))
+        result = run_cycle(sim, bus, TxFrame(Command.POLL, 0))
+        assert not result.rx.int_pending
+
+    def test_deeper_slave_does_not_mark_shallow_reply(self, sim):
+        bus, slaves = build(sim)
+        slaves[2].raise_interrupt()  # deeper than the responder
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(1)))
+        result = run_cycle(sim, bus, TxFrame(Command.POLL, 0))
+        assert not result.rx.int_pending
+
+
+class TestErrorInjection:
+    def test_corrupted_tx_nobody_replies(self, sim):
+        model = BitErrorModel(sim, p_tx=1.0)
+        bus, slaves = build(sim, error_model=model)
+        result = run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(1)))
+        assert result.status is CycleStatus.TIMEOUT
+        assert slaves[0].selected_space is None
+        assert model.corrupted_tx == 1
+
+    def test_corrupted_rx_reported(self, sim):
+        model = BitErrorModel(sim, p_rx=1.0)
+        bus, _ = build(sim, error_model=model)
+        result = run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(1)))
+        assert result.status is CycleStatus.CRC_ERROR
+        assert bus.crc_errors == 1
+
+    def test_probability_validation(self, sim):
+        with pytest.raises(ValueError):
+            BitErrorModel(sim, p_tx=1.5)
+
+    def test_error_rate_roughly_matches_probability(self, sim):
+        model = BitErrorModel(sim, p_rx=0.2)
+        bus, _ = build(sim, error_model=model)
+        outcomes = []
+        def cycle(i):
+            bus.execute(TxFrame(Command.POLL, 0)).add_callback(
+                lambda w: outcomes.append(w.value.status)
+            )
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(1)))
+        for i in range(400):
+            cycle(i)
+        sim.run()
+        errors = sum(1 for s in outcomes if s is CycleStatus.CRC_ERROR)
+        assert 0.12 < errors / 400 < 0.28
+
+    def test_utilization_tracks_busy_line(self, sim):
+        bus, _ = build(sim)
+        run_cycle(sim, bus, TxFrame(Command.SELECT, node_address(1)))
+        # The line was busy the whole run (single cycle, run ends at its end).
+        assert bus.utilization.time_average() == pytest.approx(1.0)

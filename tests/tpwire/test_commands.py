@@ -1,0 +1,85 @@
+"""Addressing and command constants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tpwire.commands import (
+    AddressSpace,
+    BROADCAST_NODE_ID,
+    MAX_NODE_ID,
+    Command,
+    RxType,
+    is_broadcast,
+    node_address,
+    split_address,
+    split_status_byte,
+    status_byte,
+)
+
+
+class TestConstants:
+    def test_node_id_range(self):
+        assert MAX_NODE_ID == 126
+        assert BROADCAST_NODE_ID == 127
+
+    def test_commands_fit_three_bits(self):
+        assert all(0 <= int(cmd) <= 7 for cmd in Command)
+        assert len(Command) == 8
+
+    def test_rx_types_fit_two_bits(self):
+        assert all(0 <= int(t) <= 3 for t in RxType)
+        assert len(RxType) == 4
+
+
+class TestAddressing:
+    def test_two_addresses_per_node(self):
+        memory = node_address(5, AddressSpace.MEMORY)
+        system = node_address(5, AddressSpace.SYSTEM)
+        assert memory != system
+        assert split_address(memory) == (5, AddressSpace.MEMORY)
+        assert split_address(system) == (5, AddressSpace.SYSTEM)
+
+    def test_all_addresses_fit_one_byte(self):
+        for node_id in range(BROADCAST_NODE_ID + 1):
+            for space in AddressSpace:
+                assert 0 <= node_address(node_id, space) <= 0xFF
+
+    def test_addresses_unique(self):
+        seen = set()
+        for node_id in range(BROADCAST_NODE_ID + 1):
+            for space in AddressSpace:
+                seen.add(node_address(node_id, space))
+        assert len(seen) == 2 * 128
+
+    @given(st.integers(0, BROADCAST_NODE_ID), st.sampled_from(list(AddressSpace)))
+    def test_roundtrip(self, node_id, space):
+        assert split_address(node_address(node_id, space)) == (node_id, space)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            node_address(128)
+        with pytest.raises(ValueError):
+            split_address(256)
+
+    def test_is_broadcast(self):
+        assert is_broadcast(BROADCAST_NODE_ID)
+        assert not is_broadcast(0)
+
+
+class TestStatusByte:
+    @given(st.integers(0, BROADCAST_NODE_ID), st.booleans())
+    def test_roundtrip(self, node_id, int_pending):
+        assert split_status_byte(status_byte(node_id, int_pending)) == (
+            node_id,
+            int_pending,
+        )
+
+    def test_interrupt_in_data0(self):
+        """Sec. 3.1: DATA[0] holds the interrupt status."""
+        assert status_byte(3, True) & 1 == 1
+        assert status_byte(3, False) & 1 == 0
+
+    def test_bad_node_id(self):
+        with pytest.raises(ValueError):
+            status_byte(200, False)

@@ -1,0 +1,99 @@
+"""CRC-4 over x^4 + x + 1.
+
+x^4 + x + 1 is a primitive polynomial of degree 4 (period 15), so over
+code words of at most 15 bits — exactly the 11+4 TX and 10+4 RX blocks —
+the CRC detects **all** single-bit and double-bit errors.  The property
+tests verify that guarantee exhaustively-by-sampling.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tpwire.crc import CRC4_POLY, check_crc4, crc4, crc4_bits
+
+
+class TestBasics:
+    def test_poly_constant(self):
+        assert CRC4_POLY == 0b10011  # x^4 + x + 1
+
+    def test_zero_message_has_zero_crc(self):
+        assert crc4(0, 11) == 0
+
+    def test_crc_is_four_bits(self):
+        for value in range(0, 2**11, 37):
+            assert 0 <= crc4(value, 11) <= 0xF
+
+    def test_known_vector_polynomial_division(self):
+        # Hand-computed: message 0b1 (1 bit). 1 << 4 = 0b10000;
+        # 0b10000 ^ 0b10011 = 0b00011 -> remainder 3.
+        assert crc4(1, 1) == 3
+
+    def test_check_crc4(self):
+        value = 0b101_10101010
+        crc = crc4(value, 11)
+        assert check_crc4(value, 11, crc)
+        assert not check_crc4(value, 11, crc ^ 0x1)
+
+    def test_check_crc4_validates_width(self):
+        with pytest.raises(ValueError):
+            check_crc4(0, 11, 16)
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            crc4(2**11, 11)
+        with pytest.raises(ValueError):
+            crc4(-1, 11)
+        with pytest.raises(ValueError):
+            crc4(0, -1)
+
+    def test_crc4_bits_matches_int_form(self):
+        value = 0b110_01100110
+        bits = [(value >> i) & 1 for i in range(10, -1, -1)]
+        assert crc4_bits(bits) == crc4(value, 11)
+
+    def test_crc4_bits_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            crc4_bits([0, 2, 1])
+
+
+class TestLinearity:
+    """CRC of XOR equals XOR of CRCs (it is a linear code)."""
+
+    @given(st.integers(0, 2**11 - 1), st.integers(0, 2**11 - 1))
+    def test_linearity(self, a, b):
+        assert crc4(a ^ b, 11) == crc4(a, 11) ^ crc4(b, 11)
+
+
+class TestErrorDetection:
+    @given(st.integers(0, 2**11 - 1), st.integers(0, 14))
+    def test_detects_all_single_bit_errors(self, value, bit):
+        """Flipping any single bit of message+crc is detected."""
+        codeword = (value << 4) | crc4(value, 11)
+        corrupted = codeword ^ (1 << bit)
+        bad_value = corrupted >> 4
+        bad_crc = corrupted & 0xF
+        assert crc4(bad_value, 11) != bad_crc
+
+    @given(
+        st.integers(0, 2**11 - 1),
+        st.integers(0, 14),
+        st.integers(0, 14),
+    )
+    def test_detects_all_double_bit_errors(self, value, bit_a, bit_b):
+        """x^4+x+1 is primitive: all 2-bit errors within 15 bits detected."""
+        if bit_a == bit_b:
+            return
+        codeword = (value << 4) | crc4(value, 11)
+        corrupted = codeword ^ (1 << bit_a) ^ (1 << bit_b)
+        bad_value = corrupted >> 4
+        bad_crc = corrupted & 0xF
+        assert crc4(bad_value, 11) != bad_crc
+
+    def test_exhaustive_single_bit_errors_small_width(self):
+        """Exhaustive check on the full RX width (10 bits)."""
+        for value in range(2**10):
+            codeword = (value << 4) | crc4(value, 10)
+            for bit in range(14):
+                corrupted = codeword ^ (1 << bit)
+                assert crc4(corrupted >> 4, 10) != corrupted & 0xF

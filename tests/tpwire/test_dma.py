@@ -1,0 +1,107 @@
+"""DMA burst writes (Sec. 3.1 system registers: the DMA counter)."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.hw import BitLevelTpwireBus, HwKernel, PhyTiming
+from repro.tpwire import (
+    BitErrorModel,
+    BusTiming,
+    TpwireBus,
+    TpwireMaster,
+    TpwireSlave,
+)
+from repro.tpwire.errors import BusError
+
+
+def build(sim, bit_level=False, error_model=None):
+    timing = BusTiming(bit_rate=2400)
+    if bit_level:
+        kernel = HwKernel(sim)
+        bus = BitLevelTpwireBus(sim, kernel, PhyTiming(bit_rate=2400))
+    else:
+        bus = TpwireBus(sim, timing, error_model)
+    slave = TpwireSlave(sim, 1, timing)
+    bus.attach_slave(slave)
+    if bit_level:
+        bus.finalize()
+    master = TpwireMaster(sim, bus)
+    return master, bus, slave
+
+
+class TestDmaWrite:
+    def test_data_lands_in_memory(self):
+        sim = Simulator()
+        master, _bus, slave = build(sim)
+        payload = bytes(range(32))
+        master.run_op(master.op_dma_write_bytes(1, 0x40, payload))
+        sim.run()
+        assert bytes(slave.registers.memory[0x40:0x60]) == payload
+
+    def test_burst_is_faster_than_per_byte_writes(self):
+        def timed(op_name, n=64):
+            sim = Simulator()
+            master, _bus, _slave = build(sim)
+            op = getattr(master, op_name)(1, 0x10, bytes(n))
+            master.run_op(op)
+            sim.run()
+            return sim.now
+
+        dma = timed("op_dma_write_bytes")
+        plain = timed("op_write_bytes")
+        assert dma < plain * 0.75
+
+    def test_only_final_byte_is_acknowledged(self):
+        sim = Simulator()
+        master, bus, _slave = build(sim)
+        master.run_op(master.op_dma_write_bytes(1, 0, bytes(10)))
+        sim.run()
+        # setup: select(sys)+ptr+count + select(mem)+ptr+sys_cmd = 6 RX,
+        # burst: 9 silent + 1 acked = 1 RX -> 7 replies total.
+        assert bus.rx_frames == 7
+        assert bus.tx_frames == 6 + 10
+
+    def test_counter_disarms_after_burst(self):
+        sim = Simulator()
+        master, _bus, slave = build(sim)
+        master.run_op(master.op_dma_write_bytes(1, 0, b"\x01\x02"))
+        sim.run()
+        assert slave.dma_write_remaining == 0
+        # Subsequent plain writes are acknowledged normally.
+        process = master.run_op(master.op_write_bytes(1, 8, b"\x03"))
+        sim.run()
+        assert process.value == 1
+
+    def test_works_on_bit_level_bus(self):
+        sim = Simulator()
+        master, _bus, slave = build(sim, bit_level=True)
+        payload = bytes([0xAA, 0x55, 0x0F, 0xF0])
+        master.run_op(master.op_dma_write_bytes(1, 0x20, payload))
+        sim.run()
+        assert bytes(slave.registers.memory[0x20:0x24]) == payload
+
+    def test_lost_frame_fails_the_burst(self):
+        """A corrupted mid-burst frame desynchronises the counter: the
+        final (acknowledged) frame times out and the op raises."""
+        sim = Simulator(seed=3)
+        error_model = BitErrorModel(sim, p_tx=0.25)
+        master, _bus, _slave = build(sim, error_model=error_model)
+        master.max_retries = 0
+        master.run_op(master.op_dma_write_bytes(1, 0, bytes(40)))
+        with pytest.raises(BusError):
+            sim.run()
+
+    def test_input_validation(self):
+        sim = Simulator()
+        master, _bus, _slave = build(sim)
+        with pytest.raises(ValueError):
+            list(master.op_dma_write_bytes(1, 0, b""))
+        with pytest.raises(ValueError):
+            list(master.op_dma_write_bytes(1, 0, bytes(300)))
+
+    def test_reset_clears_armed_burst(self):
+        sim = Simulator()
+        _master, _bus, slave = build(sim)
+        slave.dma_write_remaining = 5
+        slave._perform_reset(0.0)
+        assert slave.dma_write_remaining == 0

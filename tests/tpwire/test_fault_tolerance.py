@@ -1,0 +1,153 @@
+"""Fault injection on the transport: the FIFO recovery protocol.
+
+Destructive FIFO registers break under blind retry: a garbled reply to a
+pop skips a byte, a garbled acknowledgement to a push duplicates one.
+The poller therefore distinguishes the two failure modes (TIMEOUT = the
+slave never executed the frame; CRC_ERROR = it executed but the reply was
+lost) and uses the OUT_LAST repeat register / optimistic acknowledgement.
+"""
+
+import pytest
+
+from repro.des import Simulator
+from repro.tpwire import (
+    BitErrorModel,
+    BusTiming,
+    MailboxDevice,
+    MasterPoller,
+    TpwireBus,
+    TpwireMaster,
+    TpwireSlave,
+    TransportEndpoint,
+)
+from repro.tpwire.transport import TransportFabric
+
+
+def build_noisy(p_rx=0.0, p_tx=0.0, seed=11, node_ids=(1, 2)):
+    sim = Simulator(seed=seed)
+    timing = BusTiming(bit_rate=2400)
+    error_model = BitErrorModel(sim, p_tx=p_tx, p_rx=p_rx)
+    bus = TpwireBus(sim, timing, error_model)
+    master = TpwireMaster(sim, bus)
+    fabric = TransportFabric()
+    endpoints = {}
+    for node_id in node_ids:
+        slave = TpwireSlave(sim, node_id, timing)
+        mailbox = MailboxDevice()
+        slave.attach_device(mailbox)
+        bus.attach_slave(slave)
+        endpoints[node_id] = TransportEndpoint(sim, fabric, mailbox, node_id)
+    poller = MasterPoller(sim, master, fabric, list(node_ids))
+    return sim, endpoints, poller
+
+
+PAYLOAD = bytes(range(200))
+
+
+class TestRecoveryUnderRxErrors:
+    @pytest.mark.parametrize("p_rx", [0.02, 0.05, 0.10])
+    def test_payload_survives_reply_corruption(self, p_rx):
+        sim, endpoints, poller = build_noisy(p_rx=p_rx)
+        received = []
+        endpoints[2].on_data = lambda s, d, c: received.append(d)
+        poller.start()
+        endpoints[1].send(2, PAYLOAD)
+        sim.run(until=300.0)
+        assert received == [PAYLOAD]  # byte-exact despite corruption
+
+    def test_repeat_register_was_used(self):
+        sim, endpoints, poller = build_noisy(p_rx=0.10)
+        endpoints[2].on_data = lambda s, d, c: None
+        poller.start()
+        endpoints[1].send(2, PAYLOAD)
+        sim.run(until=300.0)
+        assert poller.recovered_bytes > 0
+
+    def test_optimistic_acks_counted(self):
+        sim, endpoints, poller = build_noisy(p_rx=0.10)
+        endpoints[2].on_data = lambda s, d, c: None
+        poller.start()
+        endpoints[1].send(2, PAYLOAD)
+        sim.run(until=300.0)
+        assert poller.optimistic_acks > 0
+
+    def test_clean_line_uses_no_recovery(self):
+        sim, endpoints, poller = build_noisy(p_rx=0.0)
+        received = []
+        endpoints[2].on_data = lambda s, d, c: received.append(d)
+        poller.start()
+        endpoints[1].send(2, PAYLOAD)
+        sim.run(until=300.0)
+        assert received == [PAYLOAD]
+        assert poller.recovered_bytes == 0
+        assert poller.optimistic_acks == 0
+
+
+class TestRecoveryUnderTxErrors:
+    def test_payload_survives_request_corruption(self):
+        """TX corruption means the slave never executed: plain resending
+        is safe and the payload arrives byte-exact."""
+        sim, endpoints, poller = build_noisy(p_tx=0.05)
+        received = []
+        endpoints[2].on_data = lambda s, d, c: received.append(d)
+        poller.start()
+        endpoints[1].send(2, PAYLOAD)
+        sim.run(until=600.0)
+        assert received == [PAYLOAD]
+
+    def test_mixed_corruption(self):
+        sim, endpoints, poller = build_noisy(p_rx=0.04, p_tx=0.04)
+        received = []
+        endpoints[2].on_data = lambda s, d, c: received.append(d)
+        poller.start()
+        endpoints[1].send(2, PAYLOAD)
+        sim.run(until=600.0)
+        assert received == [PAYLOAD]
+
+
+class TestWatchdogResetRecovery:
+    def test_message_survives_slave_resets(self):
+        """Regression: a quiet bus trips the 2048-bit watchdog; the reset
+        wipes the FLAGS register, so without the device on_reset hook a
+        queued message became invisible to the poller forever."""
+        sim, endpoints, poller = build_noisy()
+        poller.idle_delay = 3.0  # > reset timeout (2048/2400 = 0.85 s)
+        received = []
+        endpoints[2].on_data = lambda s, d, c: received.append(d)
+        poller.start()
+        sim.after(10.0, lambda: endpoints[1].send(2, b"after-reset"))
+        sim.run(until=60.0)
+        assert received == [b"after-reset"]
+
+    def test_slaves_really_reset_during_idle(self):
+        sim, endpoints, poller = build_noisy()
+        poller.idle_delay = 3.0
+        poller.start()
+        sim.run(until=30.0)
+        # The idle gaps exceed the watchdog period repeatedly.
+        from repro.tpwire import BusTiming
+        assert all(
+            ep.mailbox._slave.resets > 0 for ep in endpoints.values()
+        )
+
+    def test_fast_polling_avoids_resets(self):
+        sim, endpoints, poller = build_noisy()
+        poller.start()  # back-to-back polling keeps watchdogs fed
+        sim.run(until=30.0)
+        assert all(
+            ep.mailbox._slave.resets == 0 for ep in endpoints.values()
+        )
+
+
+class TestNoisyCaseStudy:
+    def test_case_study_completes_on_noisy_line(self):
+        from repro.cosim import CaseStudyConfig, CaseStudyScenario
+
+        result = CaseStudyScenario(
+            CaseStudyConfig(rx_error_probability=0.05)
+        ).run(max_sim_time=4000.0)
+        assert result.completed
+        # Errors cost time but not correctness.
+        clean = CaseStudyScenario(CaseStudyConfig()).run(max_sim_time=4000.0)
+        assert result.elapsed_seconds > clean.elapsed_seconds
+        assert result.elapsed_seconds < clean.elapsed_seconds * 1.5

@@ -1,0 +1,120 @@
+"""n-wire scalability variants."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.tpwire import (
+    BusTiming,
+    ParallelBusGroup,
+    TpwireSlave,
+    WireMode,
+    timing_for,
+)
+from repro.tpwire.errors import TpwireError
+
+
+class TestTimingFor:
+    def test_one_wire_is_serial(self):
+        timing = timing_for(1)
+        assert timing.mode is WireMode.SERIAL
+        assert timing.wires == 1
+
+    def test_multi_wire_defaults_to_parallel_data(self):
+        timing = timing_for(2)
+        assert timing.mode is WireMode.PARALLEL_DATA
+
+    def test_explicit_mode(self):
+        timing = timing_for(4, mode=WireMode.PARALLEL_DATA)
+        assert timing.wires == 4
+
+    def test_invalid_wires(self):
+        with pytest.raises(TpwireError):
+            timing_for(0)
+
+
+class TestParallelBusGroup:
+    def make(self, sim, wires=2):
+        return ParallelBusGroup(sim, wires, bit_rate=2400)
+
+    def test_builds_independent_lines(self):
+        sim = Simulator()
+        group = self.make(sim, wires=3)
+        assert group.wires == 3
+        assert len(group.buses) == 3
+        assert len(group.masters) == 3
+
+    def test_slaves_balanced_across_lines(self):
+        sim = Simulator()
+        group = self.make(sim, wires=2)
+        timing = BusTiming(bit_rate=2400)
+        lines = [
+            group.attach_slave(TpwireSlave(sim, node_id, timing))
+            for node_id in range(1, 5)
+        ]
+        assert sorted(lines) == [0, 0, 1, 1]
+
+    def test_explicit_line_assignment(self):
+        sim = Simulator()
+        group = self.make(sim)
+        timing = BusTiming(bit_rate=2400)
+        assert group.attach_slave(TpwireSlave(sim, 1, timing), line=1) == 1
+        assert group.line_of(1) == 1
+
+    def test_master_for_routes_to_right_line(self):
+        sim = Simulator()
+        group = self.make(sim)
+        timing = BusTiming(bit_rate=2400)
+        group.attach_slave(TpwireSlave(sim, 1, timing), line=0)
+        group.attach_slave(TpwireSlave(sim, 2, timing), line=1)
+        assert group.master_for(1) is group.masters[0]
+        assert group.master_for(2) is group.masters[1]
+
+    def test_duplicate_attachment_rejected(self):
+        sim = Simulator()
+        group = self.make(sim)
+        timing = BusTiming(bit_rate=2400)
+        group.attach_slave(TpwireSlave(sim, 1, timing))
+        with pytest.raises(TpwireError):
+            group.attach_slave(TpwireSlave(sim, 1, timing))
+
+    def test_unknown_node_rejected(self):
+        sim = Simulator()
+        group = self.make(sim)
+        with pytest.raises(TpwireError):
+            group.line_of(9)
+
+    def test_lines_run_concurrently(self):
+        """Two transactions on different lines overlap in time."""
+        sim = Simulator()
+        group = self.make(sim, wires=2)
+        timing = BusTiming(bit_rate=2400)
+        group.attach_slave(TpwireSlave(sim, 1, timing), line=0)
+        group.attach_slave(TpwireSlave(sim, 2, timing), line=1)
+        done = []
+
+        def run_on(master, node_id):
+            yield master.run_op(master.op_poll(node_id))
+            done.append((node_id, sim.now))
+
+        sim.spawn(run_on(group.masters[0], 1))
+        sim.spawn(run_on(group.masters[1], 2))
+        sim.run()
+        t1 = dict(done)[1]
+        t2 = dict(done)[2]
+        # Concurrent, not serialized: both finish at the single-op time
+        # (select + poll = two exchanges), not at twice that.
+        one_op = 2 * timing.exchange_duration(1)
+        assert t1 == pytest.approx(t2)
+        assert t1 == pytest.approx(one_op)
+
+    def test_aggregate_counters(self):
+        sim = Simulator()
+        group = self.make(sim)
+        timing = BusTiming(bit_rate=2400)
+        group.attach_slave(TpwireSlave(sim, 1, timing), line=0)
+        master = group.master_for(1)
+        master.run_op(master.op_poll(1))
+        sim.run()
+        assert group.tx_frames == 2  # select + poll
+        assert group.rx_frames == 2
+        assert group.timeouts == 0

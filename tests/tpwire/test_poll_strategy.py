@@ -1,0 +1,86 @@
+"""Polling strategies: round-robin vs interrupt-scan (INT piggyback)."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.tpwire import PollStrategy
+
+from tests.tpwire.test_transport import build_network
+
+
+def build(strategy, node_ids=(1, 2, 3, 4)):
+    sim = Simulator()
+    bus, master, fabric, endpoints, poller = build_network(
+        sim, node_ids=node_ids
+    )
+    poller.strategy = strategy
+    return sim, bus, endpoints, poller
+
+
+class TestInterruptScan:
+    def test_delivers_messages(self):
+        sim, _bus, endpoints, poller = build(PollStrategy.INTERRUPT_SCAN)
+        received = []
+        endpoints[3].on_data = lambda s, d, c: received.append((s, d))
+        poller.start()
+        endpoints[1].send(3, b"via-INT")
+        sim.run(until=30.0)
+        assert received == [(1, b"via-INT")]
+
+    def test_bidirectional(self):
+        sim, _bus, endpoints, poller = build(PollStrategy.INTERRUPT_SCAN)
+        inbox = {1: [], 4: []}
+        endpoints[1].on_data = lambda s, d, c: inbox[1].append(d)
+        endpoints[4].on_data = lambda s, d, c: inbox[4].append(d)
+        poller.start()
+        endpoints[1].send(4, b"down")
+        endpoints[4].send(1, b"up")
+        sim.run(until=60.0)
+        assert inbox[4] == [b"down"]
+        assert inbox[1] == [b"up"]
+
+    def test_idle_bus_cost_is_lower(self):
+        """With a polling period, idle discovery costs one sentinel poll
+        per round instead of a flags read of every slave."""
+        def idle_frames(strategy):
+            sim, bus, _endpoints, poller = build(strategy)
+            poller.idle_delay = 0.5
+            poller.start()
+            sim.run(until=20.0)
+            return bus.tx_frames
+
+        scan = idle_frames(PollStrategy.INTERRUPT_SCAN)
+        robin = idle_frames(PollStrategy.ROUND_ROBIN)
+        # 4 slaves: ~2 frame-pairs per idle round vs ~8.
+        assert scan < robin * 0.5
+
+    def test_sentinel_poll_counter(self):
+        sim, _bus, _endpoints, poller = build(PollStrategy.INTERRUPT_SCAN)
+        poller.start()
+        sim.run(until=5.0)
+        assert poller.sentinel_polls > 0
+
+    def test_drains_backlog_before_idling(self):
+        sim, _bus, endpoints, poller = build(PollStrategy.INTERRUPT_SCAN)
+        received = []
+        endpoints[2].on_data = lambda s, d, c: received.append(d)
+        poller.start()
+        for i in range(5):
+            endpoints[1].send(2, bytes([i]) * 10)
+        sim.run(until=60.0)
+        assert len(received) == 5
+
+    def test_latency_close_to_round_robin_under_load(self):
+        """The optimisation must not break loaded-path performance."""
+        def delivery_time(strategy):
+            sim, _bus, endpoints, poller = build(strategy)
+            done = []
+            endpoints[2].on_data = lambda s, d, c: done.append(sim.now)
+            poller.start()
+            endpoints[1].send(2, bytes(64))
+            sim.run(until=60.0)
+            return done[0]
+
+        scan = delivery_time(PollStrategy.INTERRUPT_SCAN)
+        robin = delivery_time(PollStrategy.ROUND_ROBIN)
+        assert scan < robin * 1.5

@@ -1,0 +1,129 @@
+"""Slave register files and MMIO."""
+
+import pytest
+
+from repro.tpwire import Flag, SlaveRegisterFile, SystemRegister
+from repro.tpwire.errors import TpwireError
+from repro.tpwire.registers import MmioRegion
+
+
+class TestMemory:
+    def test_read_write(self):
+        regs = SlaveRegisterFile()
+        regs.write_memory(0x10, 0xAB)
+        assert regs.read_memory(0x10) == 0xAB
+
+    def test_out_of_range_raises(self):
+        regs = SlaveRegisterFile(memory_size=16)
+        with pytest.raises(TpwireError):
+            regs.read_memory(16)
+        with pytest.raises(TpwireError):
+            regs.write_memory(16, 0)
+
+    def test_byte_range_enforced(self):
+        regs = SlaveRegisterFile()
+        with pytest.raises(TpwireError):
+            regs.write_memory(0, 256)
+
+
+class TestPointer:
+    def test_auto_increment_on_read(self):
+        regs = SlaveRegisterFile()
+        regs.memory[0:3] = b"\x01\x02\x03"
+        regs.set_pointer(0)
+        assert [regs.read_at_pointer() for _ in range(3)] == [1, 2, 3]
+        assert regs.pointer == 3
+
+    def test_auto_increment_on_write(self):
+        regs = SlaveRegisterFile()
+        regs.set_pointer(5)
+        regs.write_at_pointer(0xAA)
+        regs.write_at_pointer(0xBB)
+        assert regs.memory[5:7] == b"\xaa\xbb"
+
+    def test_pointer_wraps_at_256(self):
+        regs = SlaveRegisterFile(memory_size=256)
+        regs.set_pointer(255)
+        regs.read_at_pointer()
+        assert regs.pointer == 0
+
+    def test_set_pointer_wraps_modulo(self):
+        regs = SlaveRegisterFile()
+        regs.set_pointer(300)
+        assert regs.pointer == 44
+
+
+class TestSystemRegisters:
+    def test_all_four_registers(self):
+        regs = SlaveRegisterFile()
+        for index, register in enumerate(SystemRegister):
+            regs.write_system(int(register), index + 10)
+        for index, register in enumerate(SystemRegister):
+            assert regs.read_system(int(register)) == index + 10
+
+    def test_flags_helpers(self):
+        regs = SlaveRegisterFile()
+        regs.set_flag(Flag.OUT_READY)
+        regs.set_flag(Flag.INT_PENDING)
+        assert regs.test_flag(Flag.OUT_READY)
+        regs.set_flag(Flag.OUT_READY, False)
+        assert not regs.test_flag(Flag.OUT_READY)
+        assert regs.test_flag(Flag.INT_PENDING)
+
+    def test_reset_clears_state_and_flags(self):
+        regs = SlaveRegisterFile()
+        regs.set_pointer(9)
+        regs.write_system(int(SystemRegister.COMMAND), 5)
+        regs.set_flag(Flag.OUT_READY)
+        regs.reset()
+        assert regs.pointer == 0
+        assert regs.read_system(int(SystemRegister.COMMAND)) == 0
+        assert regs.test_flag(Flag.RESET_OCCURRED)
+        assert not regs.test_flag(Flag.OUT_READY)
+
+
+class TestMmio:
+    def test_handlers_invoked(self):
+        regs = SlaveRegisterFile()
+        written = []
+        regs.register_mmio(MmioRegion(
+            0xF0, 2,
+            read=lambda off: 0x40 + off,
+            write=lambda off, val: written.append((off, val)),
+            name="dev",
+        ))
+        assert regs.read_memory(0xF1) == 0x41
+        regs.write_memory(0xF0, 7)
+        assert written == [(0, 7)]
+
+    def test_overlap_rejected(self):
+        regs = SlaveRegisterFile()
+        regs.register_mmio(MmioRegion(0xF0, 4, read=lambda o: 0, name="a"))
+        with pytest.raises(TpwireError):
+            regs.register_mmio(MmioRegion(0xF2, 2, read=lambda o: 0, name="b"))
+
+    def test_read_only_and_write_only(self):
+        regs = SlaveRegisterFile()
+        regs.register_mmio(MmioRegion(0xF0, 1, read=lambda o: 1, name="ro"))
+        regs.register_mmio(MmioRegion(0xF1, 1, write=lambda o, v: None, name="wo"))
+        with pytest.raises(TpwireError):
+            regs.write_memory(0xF0, 1)
+        with pytest.raises(TpwireError):
+            regs.read_memory(0xF1)
+
+    def test_sticky_region_freezes_pointer(self):
+        regs = SlaveRegisterFile()
+        values = iter([1, 2, 3])
+        regs.register_mmio(MmioRegion(
+            0xF0, 1, read=lambda o: next(values), name="fifo", sticky=True,
+        ))
+        regs.set_pointer(0xF0)
+        assert [regs.read_at_pointer() for _ in range(3)] == [1, 2, 3]
+        assert regs.pointer == 0xF0
+
+    def test_non_sticky_mmio_advances_pointer(self):
+        regs = SlaveRegisterFile()
+        regs.register_mmio(MmioRegion(0xF0, 2, read=lambda o: o, name="win"))
+        regs.set_pointer(0xF0)
+        regs.read_at_pointer()
+        assert regs.pointer == 0xF1

@@ -1,0 +1,123 @@
+"""SPI peripheral behind the system register set."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.tpwire import AddressSpace, BusTiming, TpwireBus, TpwireMaster, TpwireSlave
+from repro.tpwire.errors import TpwireError
+from repro.tpwire.registers import SystemRegister
+from repro.tpwire.spi import (
+    OutputShiftRegister,
+    SpiController,
+    SpiSysCommand,
+    TemperatureSensor,
+)
+
+
+def build(peripheral):
+    sim = Simulator()
+    timing = BusTiming(bit_rate=2400)
+    bus = TpwireBus(sim, timing)
+    slave = TpwireSlave(sim, 1, timing)
+    controller = SpiController()
+    slave.attach_device(controller)
+    controller.attach_peripheral(peripheral)
+    bus.attach_slave(slave)
+    master = TpwireMaster(sim, bus)
+    return sim, master, slave, controller
+
+
+def spi_xfer(master, node_id, mosi):
+    """Full SPI byte exchange over the bus: write SPI reg, SYS_CMD, read."""
+    yield from master.op_write_bytes(
+        node_id, int(SystemRegister.SPI), bytes([mosi]),
+        space=AddressSpace.SYSTEM,
+    )
+    yield from master.op_sys_command(node_id, int(SpiSysCommand.SPI_XFER))
+    miso = yield from master.op_read_bytes(
+        node_id, int(SystemRegister.SPI), 1, space=AddressSpace.SYSTEM,
+    )
+    return miso[0]
+
+
+class TestController:
+    def test_full_duplex_exchange(self):
+        sensor = TemperatureSensor(temperature_c=21.5)
+        sim, master, _slave, controller = build(sensor)
+
+        results = []
+
+        def driver():
+            first = yield from spi_xfer(master, 1, TemperatureSensor.SAMPLE)
+            second = yield from spi_xfer(master, 1, 0x00)
+            results.extend([first, second])
+
+        master.run_op(driver())
+        sim.run()
+        # First transfer shifts out the idle 0; the second shifts out the
+        # sampled temperature: 21.5 degC -> 43 half-degrees.
+        assert results == [0x00, 43]
+        assert controller.transfers == 2
+        assert sensor.samples_taken == 1
+
+    def test_other_sys_commands_ignored(self):
+        sensor = TemperatureSensor()
+        sim, master, _slave, controller = build(sensor)
+        master.run_op(master.op_sys_command(1, 0x7F))
+        sim.run()
+        assert controller.transfers == 0
+
+    def test_missing_peripheral_faults(self):
+        sim = Simulator()
+        timing = BusTiming()
+        slave = TpwireSlave(sim, 1, timing)
+        controller = SpiController()
+        slave.attach_device(controller)
+        with pytest.raises(TpwireError):
+            controller.on_sys_command(int(SpiSysCommand.SPI_XFER))
+
+
+class TestTemperatureSensor:
+    def test_clamping(self):
+        hot = TemperatureSensor(temperature_c=400.0)
+        hot.transfer(TemperatureSensor.SAMPLE)
+        assert hot.transfer(0) == 255
+        cold = TemperatureSensor(temperature_c=-10.0)
+        cold.transfer(TemperatureSensor.SAMPLE)
+        assert cold.transfer(0) == 0
+
+    def test_reading_is_one_shot(self):
+        sensor = TemperatureSensor(temperature_c=25.0)
+        sensor.transfer(TemperatureSensor.SAMPLE)
+        assert sensor.transfer(0) == 50
+        assert sensor.transfer(0) == 0  # consumed
+
+
+class TestOutputShiftRegister:
+    def test_outputs_latch(self):
+        latch = OutputShiftRegister()
+        latch.transfer(0b1010_0001)
+        assert latch.pin(0) and latch.pin(5) and latch.pin(7)
+        assert not latch.pin(1)
+
+    def test_shifts_out_previous_state(self):
+        latch = OutputShiftRegister()
+        latch.transfer(0x0F)
+        assert latch.transfer(0xF0) == 0x0F
+
+    def test_pin_bounds(self):
+        with pytest.raises(ValueError):
+            OutputShiftRegister().pin(8)
+
+    def test_drive_actuator_over_the_bus(self):
+        """End-to-end: master flips a digital output through SPI."""
+        latch = OutputShiftRegister()
+        sim, master, _slave, _controller = build(latch)
+
+        def driver():
+            yield from spi_xfer(master, 1, 0b0000_0100)
+
+        master.run_op(driver())
+        sim.run()
+        assert latch.pin(2)
+        assert not latch.pin(0)

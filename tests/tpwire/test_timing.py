@@ -1,0 +1,99 @@
+"""Bus timing model, including the n-wire variants."""
+
+import pytest
+
+from repro.tpwire import BusTiming, WireMode
+from repro.tpwire.timing import (
+    RESET_ACTIVE_BITS,
+    RESET_TIMEOUT_BITS,
+)
+
+
+class TestSerialTiming:
+    def test_bit_period(self):
+        assert BusTiming(bit_rate=2400).bit_period == pytest.approx(1 / 2400)
+
+    def test_frame_is_16_bits(self):
+        assert BusTiming().frame_bits_on_wire == 16
+
+    def test_exchange_duration_composition(self):
+        timing = BusTiming(bit_rate=1000, gap_bits=4, turnaround_bits=4,
+                           hop_delay_bits=2)
+        # TX(16+2) + turnaround(4) + RX(16+2) + gap(4) = 44 bit periods.
+        assert timing.exchange_duration(1) == pytest.approx(0.044)
+
+    def test_hop_delay_scales_with_depth(self):
+        timing = BusTiming(bit_rate=1000)
+        deep = timing.exchange_duration(10)
+        shallow = timing.exchange_duration(1)
+        assert deep - shallow == pytest.approx(2 * 9 * 2 / 1000)
+
+    def test_broadcast_has_no_return_path(self):
+        timing = BusTiming(bit_rate=1000)
+        assert timing.broadcast_duration(3) < timing.exchange_duration(3)
+
+    def test_response_timeout_has_margin(self):
+        timing = BusTiming(bit_rate=1000)
+        expected_oneway = timing.exchange_duration(2) - timing.gap_duration
+        assert timing.response_timeout(2, margin=2.0) == pytest.approx(
+            2.0 * expected_oneway
+        )
+
+    def test_reset_constants_from_spec(self):
+        timing = BusTiming(bit_rate=2400)
+        assert RESET_TIMEOUT_BITS == 2048
+        assert RESET_ACTIVE_BITS == 33
+        assert timing.reset_timeout == pytest.approx(2048 / 2400)
+        assert timing.reset_active == pytest.approx(33 / 2400)
+
+    def test_peak_exchange_rate(self):
+        timing = BusTiming(bit_rate=2400)
+        assert timing.peak_exchanges_per_second == pytest.approx(
+            2400 / 40.0
+        )
+
+
+class TestParallelDataTiming:
+    def test_two_wire_frame_is_13_bits(self):
+        timing = BusTiming(wires=2, mode=WireMode.PARALLEL_DATA)
+        # start+cmd lead (4) overlapped with 1+8 striped data, then CRC(4).
+        assert timing.frame_bits_on_wire == 13
+
+    def test_more_wires_shrink_frames(self):
+        widths = [
+            BusTiming(wires=n, mode=WireMode.PARALLEL_DATA).frame_bits_on_wire
+            for n in (2, 3, 5, 9)
+        ]
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] == 8  # floor: lead(4) + crc(4)
+
+    def test_two_wire_speedup_in_paper_range(self):
+        """Sec. 3.2 / Table 4: 2-wire buys a 15-25% cycle-time saving."""
+        serial = BusTiming(bit_rate=2400)
+        dual = BusTiming(bit_rate=2400, wires=2, mode=WireMode.PARALLEL_DATA)
+        ratio = dual.exchange_duration(2) / serial.exchange_duration(2)
+        assert 0.75 < ratio < 0.90
+
+    def test_serial_mode_requires_one_wire(self):
+        with pytest.raises(ValueError):
+            BusTiming(wires=2, mode=WireMode.SERIAL)
+
+    def test_parallel_data_needs_two_wires(self):
+        with pytest.raises(ValueError):
+            BusTiming(wires=1, mode=WireMode.PARALLEL_DATA)
+
+
+class TestValidation:
+    def test_positive_bit_rate(self):
+        with pytest.raises(ValueError):
+            BusTiming(bit_rate=0)
+
+    def test_nonnegative_bit_counts(self):
+        with pytest.raises(ValueError):
+            BusTiming(gap_bits=-1)
+
+    def test_scaled_copy(self):
+        timing = BusTiming(bit_rate=2400)
+        faster = timing.scaled(bit_rate=4800)
+        assert faster.bit_rate == 4800
+        assert timing.bit_rate == 2400
