@@ -21,6 +21,7 @@ The analog here:
 """
 
 from repro.board.cpu import StackCpu, CpuError, Op
+from repro.board.errors import BoardError, BridgeNotConnectedError
 from repro.board.assembler import assemble, AssemblerError
 from repro.board.gdb_stub import GdbStub, GdbClient, rsp_encode, rsp_decode
 from repro.board.theseus import TheseusBoard
@@ -28,6 +29,8 @@ from repro.board import firmware
 
 __all__ = [
     "StackCpu",
+    "BoardError",
+    "BridgeNotConnectedError",
     "CpuError",
     "Op",
     "assemble",

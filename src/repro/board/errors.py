@@ -1,0 +1,13 @@
+"""Error hierarchy of the embedded-board model.
+
+:class:`BridgeNotConnectedError` subclasses :class:`RuntimeError` so
+pre-hierarchy callers catching ``RuntimeError`` keep working.
+"""
+
+
+class BoardError(Exception):
+    """Base class for embedded-board model errors."""
+
+
+class BridgeNotConnectedError(BoardError, RuntimeError):
+    """A board port was used before ``connect_bridge`` wired it up."""

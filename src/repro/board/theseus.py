@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.board.cpu import StackCpu
+from repro.board.errors import BridgeNotConnectedError
 from repro.board.gdb_stub import GdbStub
 
 
@@ -77,7 +78,9 @@ class TheseusBoard:
 
     def _tx_write(self, value: int) -> None:
         if self._tx_channel is None:
-            raise RuntimeError(f"{self.name}: TX port used before connect_bridge")
+            raise BridgeNotConnectedError(
+                f"{self.name}: TX port used before connect_bridge"
+            )
         self._tx_channel.write(bytes([value]))
 
     def _rx_read(self) -> int:

@@ -22,6 +22,7 @@ The middleware follows the Linda / JavaSpaces model the paper builds on:
 """
 
 from repro.core.errors import (
+    ConnectionClosedError,
     SpaceError,
     NoMatchError,
     LeaseDeniedError,
@@ -58,6 +59,7 @@ from repro.core.agents import (
 )
 
 __all__ = [
+    "ConnectionClosedError",
     "SpaceError",
     "NoMatchError",
     "LeaseDeniedError",

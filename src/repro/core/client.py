@@ -10,10 +10,10 @@ dispatched to registered callbacks.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Callable, Optional
 
-from repro.core.errors import ProtocolError, SpaceError
+from repro.core.clock import Clock, SystemClock
+from repro.core.errors import ConnectionClosedError, ProtocolError, SpaceError
 from repro.core.protocol import (
     Message,
     MessageType,
@@ -26,10 +26,23 @@ from repro.core.xmlcodec import XmlCodec
 class SpaceClient:
     """Blocking client for a remote space server."""
 
-    def __init__(self, connection, codec: XmlCodec, poll_interval: float = 0.005):
+    def __init__(
+        self,
+        connection,
+        codec: XmlCodec,
+        poll_interval: float = 0.005,
+        clock: Optional[Clock] = None,
+    ):
+        """``clock`` paces the response polling loop.
+
+        Defaults to the wall clock; inject a
+        :class:`~repro.core.clock.ManualClock` (tests) or any other
+        :class:`~repro.core.clock.Clock` to make polling deterministic.
+        """
         self.connection = connection
         self.codec = codec
         self.poll_interval = poll_interval
+        self.clock = clock if clock is not None else SystemClock()
         self._parser = StreamParser(codec)
         self._next_request_id = 0
         self._notify_handlers: dict[int, Callable] = {}
@@ -145,8 +158,8 @@ class SpaceClient:
             data = self.connection.recv_bytes()
             if not data:
                 if getattr(self.connection, "closed", False):
-                    raise ConnectionError("connection closed mid-request")
-                time.sleep(self.poll_interval)
+                    raise ConnectionClosedError("connection closed mid-request")
+                self.clock.sleep(self.poll_interval)
                 continue
             for message in self._parser.feed(data):
                 if message.msg_type is MessageType.NOTIFY_EVENT:

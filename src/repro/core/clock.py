@@ -12,9 +12,18 @@ import time as _time
 
 
 class Clock:
-    """Time source protocol: ``now()`` in seconds, monotone."""
+    """Time source protocol: ``now()`` in seconds, monotone.
+
+    ``sleep()`` is the matching delay primitive, so components that poll
+    (e.g. :class:`repro.core.client.SpaceClient`) can take one injected
+    object for both reading and pacing time — under a test clock a
+    "sleep" merely advances it, keeping runs deterministic and instant.
+    """
 
     def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, duration: float) -> None:
         raise NotImplementedError
 
 
@@ -23,6 +32,9 @@ class SystemClock(Clock):
 
     def now(self) -> float:
         return _time.monotonic()
+
+    def sleep(self, duration: float) -> None:
+        _time.sleep(duration)
 
 
 class SimClock(Clock):
@@ -43,6 +55,9 @@ class ManualClock(Clock):
 
     def now(self) -> float:
         return self._now
+
+    def sleep(self, duration: float) -> None:
+        self.advance(duration)
 
     def advance(self, delta: float) -> float:
         if delta < 0:

@@ -23,3 +23,7 @@ class TransactionError(SpaceError):
 
 class ProtocolError(SpaceError):
     """Malformed wire-protocol message or XML entry encoding."""
+
+
+class ConnectionClosedError(SpaceError, ConnectionError):
+    """The transport closed mid-request (also a ``ConnectionError``)."""

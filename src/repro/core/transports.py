@@ -20,6 +20,7 @@ import socket
 import threading
 from typing import Optional
 
+from repro.core.errors import ConnectionClosedError
 from repro.core.protocol import Message, StreamParser, encode_message
 from repro.core.rmi import Registry
 from repro.core.server import SpaceServer, ThreadTimers
@@ -64,7 +65,7 @@ class LocalConnection:
 
     def send_bytes(self, data: bytes) -> None:
         if self.closed:
-            raise ConnectionError("connection is closed")
+            raise ConnectionClosedError("connection is closed")
         for message in self._parser.feed(data):
             self._proxy.handle(self._session, message)
 

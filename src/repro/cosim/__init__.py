@@ -7,6 +7,7 @@ canned experiment scenarios of Section 5.
 """
 
 from repro.cosim.environment import BusSystem, build_bus_system
+from repro.cosim.errors import CosimError, CaseStudyIncompleteError
 from repro.cosim.server_host import SimServerHost, ServerTimingModel
 from repro.cosim.scenarios import (
     ValidationScenario,
@@ -30,6 +31,8 @@ from repro.cosim.ethernet import (
 
 __all__ = [
     "BusSystem",
+    "CosimError",
+    "CaseStudyIncompleteError",
     "build_bus_system",
     "SimServerHost",
     "ServerTimingModel",

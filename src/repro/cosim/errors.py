@@ -1,0 +1,13 @@
+"""Error hierarchy of the co-simulation layer.
+
+:class:`CaseStudyIncompleteError` subclasses :class:`RuntimeError` so
+pre-hierarchy callers catching ``RuntimeError`` keep working.
+"""
+
+
+class CosimError(Exception):
+    """Base class for co-simulation errors."""
+
+
+class CaseStudyIncompleteError(CosimError, RuntimeError):
+    """A case study hit its simulated-time budget before finishing."""

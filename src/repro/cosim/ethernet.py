@@ -22,6 +22,7 @@ from repro.cosim.scenarios import (
     default_entry,
     make_case_study_codec,
 )
+from repro.cosim.errors import CaseStudyIncompleteError
 from repro.cosim.server_host import ServerTimingModel
 from repro.core.protocol import Message, StreamParser, encode_message
 from repro.core.rmi import Registry
@@ -174,7 +175,7 @@ class EthernetCaseStudy:
         self.sim.spawn(self._client_program(), name="eth-client-program")
         self.sim.run(until=max_sim_time)
         if self._result is None:
-            raise RuntimeError("Ethernet case study did not finish")
+            raise CaseStudyIncompleteError("Ethernet case study did not finish")
         return self._result
 
 

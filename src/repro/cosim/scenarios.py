@@ -21,6 +21,7 @@ from repro.core.space import TupleSpace
 from repro.core.clock import SimClock
 from repro.core.xmlcodec import XmlCodec
 from repro.cosim.environment import BusSystem, build_bus_system
+from repro.cosim.errors import CaseStudyIncompleteError
 from repro.cosim.server_host import ServerTimingModel, SimServerHost
 from repro.des import Simulator
 from repro.hw.bridge import ClientBridge, ServerBridge
@@ -350,7 +351,7 @@ class CaseStudyScenario:
         self.sim.spawn(self._client_program(), name="client-program")
         self.sim.run(until=max_sim_time)
         if self._result is None:
-            raise RuntimeError(
+            raise CaseStudyIncompleteError(
                 f"case study did not finish within {max_sim_time}s of "
                 "simulated time"
             )

@@ -158,7 +158,9 @@ class Process(Waitable):
         except ProcessKilled:
             self.succeed(None)
             return
-        except BaseException as exc:  # noqa: BLE001 - must forward any error
+        # The kernel must forward *any* process error to its waiters;
+        # _fail_or_raise re-raises when nobody waits on the process.
+        except BaseException as exc:  # noqa: BLE001  # lint: disable=broad-except
             self._fail_or_raise(exc)
             return
         if not isinstance(target, Waitable):

@@ -1,0 +1,74 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+def module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Local names that refer to ``module`` via ``import module [as alias]``.
+
+    Dotted imports count when the root matches (``import time.x as t``
+    does not occur for the modules we track, but ``import time as _time``
+    must map ``_time`` -> ``time``).
+    """
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module or alias.name.startswith(module + "."):
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def from_imported(tree: ast.Module, module: str) -> dict[str, tuple[ast.ImportFrom, str]]:
+    """``from module import name [as alias]`` -> {local: (node, name)}."""
+    imported: dict[str, tuple[ast.ImportFrom, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                imported[alias.asname or alias.name] = (node, alias.name)
+    return imported
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def int_literal(node: ast.AST) -> Optional[int]:
+    """The value of an int literal, including unary minus, else ``None``."""
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) is int
+    ):
+        return -node.operand.value
+    return None
+
+
+def contains_raise(nodes: list[ast.stmt]) -> bool:
+    """True when any statement (recursively) raises.
+
+    Nested function/class definitions do not count — a ``raise`` in a
+    callback defined inside the handler does not re-raise the exception.
+    """
+    stack: list[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False

@@ -1,0 +1,17 @@
+"""Error hierarchy of the lint framework itself.
+
+(The linter practices what it preaches: rule ``error-hierarchy`` demands
+domain exceptions, so the lint package ships its own.)
+"""
+
+
+class LintError(Exception):
+    """Base class for all lint-framework errors."""
+
+
+class ConfigError(LintError):
+    """Malformed ``[tool.repro-lint]`` configuration."""
+
+
+class RegistryError(LintError):
+    """Rule registration/selection misuse (duplicate or unknown id)."""

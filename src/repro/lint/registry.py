@@ -1,0 +1,115 @@
+"""Rule base class and the pluggable rule registry.
+
+A rule is a class with a unique kebab-case ``id``; registering it makes
+it discoverable by the checker, the CLI (``--list-rules``) and the
+config layer.  Third parties (benchmarks, future subsystems) can add
+rules by defining a subclass and calling :func:`register` — nothing in
+the checker enumerates rules statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Type
+
+from repro.lint.context import ModuleContext
+from repro.lint.errors import RegistryError
+from repro.lint.findings import Finding, Severity
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Class attributes
+    ----------------
+    id:
+        Unique kebab-case identifier (used in ``# lint: disable=``,
+        config ``select``/``ignore`` and finding output).
+    summary:
+        One-line description shown by ``--list-rules``.
+    default_severity:
+        ERROR findings gate the run; WARNING findings are advisory.
+    default_scope:
+        Dotted module prefixes the rule applies to, or ``None`` for
+        every module.  Overridable per rule via config ``scope``.
+    """
+
+    id: str = ""
+    summary: str = ""
+    default_severity: Severity = Severity.ERROR
+    default_scope: Optional[tuple[str, ...]] = ("repro",)
+
+    def __init__(self, config):
+        self.config = config
+        self.options: dict = config.rule_options.get(self.id, {})
+        self.severity: Severity = config.severities.get(self.id, self.default_severity)
+        scope = self.options.get("scope")
+        self.scope: Optional[tuple[str, ...]] = (
+            tuple(scope) if scope is not None else self.default_scope
+        )
+
+    # -- scoping -----------------------------------------------------------
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if self.scope is None:
+            return True
+        return ctx.in_package(*self.scope)
+
+    # -- checking ----------------------------------------------------------
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module; must not mutate the tree."""
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity,
+        )
+
+
+#: All registered rule classes, keyed by rule id.
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise RegistryError(f"rule {rule_cls.__name__} has no id")
+    existing = _REGISTRY.get(rule_cls.id)
+    if existing is not None and existing is not rule_cls:
+        raise RegistryError(
+            f"duplicate rule id {rule_cls.id!r}: "
+            f"{existing.__name__} vs {rule_cls.__name__}"
+        )
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rule_classes() -> dict[str, Type[Rule]]:
+    """Registered rules (id -> class), loading the built-in set."""
+    # Importing the rules package registers every built-in rule.
+    import repro.lint.rules  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def instantiate(config, select: Optional[Iterable[str]] = None) -> list[Rule]:
+    """Build rule instances enabled under ``config``.
+
+    ``select`` (CLI override) wins over config select/ignore.
+    """
+    classes = all_rule_classes()
+    if select is not None:
+        wanted = list(select)
+    else:
+        wanted = config.select if config.select is not None else sorted(classes)
+        wanted = [rule_id for rule_id in wanted if rule_id not in config.ignore]
+    unknown = [rule_id for rule_id in wanted if rule_id not in classes]
+    if unknown:
+        raise RegistryError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [classes[rule_id](config) for rule_id in wanted]

@@ -1,0 +1,18 @@
+"""Built-in rule set.
+
+Importing this package registers every rule with the registry; add a new
+rule by dropping a module here (or anywhere) that defines a
+:class:`~repro.lint.registry.Rule` subclass decorated with
+:func:`~repro.lint.registry.register`, and importing it below.
+"""
+
+from repro.lint.rules import (  # noqa: F401
+    broad_except,
+    error_hierarchy,
+    float_time_eq,
+    frame_bounds,
+    layer_purity,
+    mutable_default,
+    unseeded_random,
+    wall_clock,
+)

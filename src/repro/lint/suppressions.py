@@ -1,0 +1,70 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the usual linter conventions:
+
+``# lint: disable=rule-a,rule-b``
+    Suppresses the named rules on that physical line.  A bare
+    ``# lint: disable`` suppresses every rule on the line.
+
+``# lint: disable-file=rule-a``
+    Anywhere in the first ten lines of a module: suppresses the named
+    rules (or all, when bare) for the whole file.
+
+Suppressions are matched against the line a finding is *reported* on
+(the AST node's ``lineno``), so put the comment on the statement the
+linter flags.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+_LINE_RE = re.compile(r"#\s*lint:\s*disable(?:=([\w\-, ]+))?")
+_FILE_RE = re.compile(r"#\s*lint:\s*disable-file(?:=([\w\-, ]+))?")
+
+#: Sentinel meaning "every rule".
+ALL = "*"
+
+#: Module-level suppressions must appear within this many leading lines.
+FILE_PRAGMA_WINDOW = 10
+
+
+@dataclass
+class SuppressionIndex:
+    """Suppression state of one source file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_lines(cls, lines: list[str]) -> "SuppressionIndex":
+        index = cls()
+        for lineno, line in enumerate(lines, start=1):
+            if "#" not in line or "lint:" not in line:
+                continue
+            file_match = _FILE_RE.search(line)
+            if file_match and lineno <= FILE_PRAGMA_WINDOW:
+                index.file_wide.update(_rule_set(file_match.group(1)))
+                continue
+            line_match = _LINE_RE.search(line)
+            if line_match:
+                rules = index.by_line.setdefault(lineno, set())
+                rules.update(_rule_set(line_match.group(1)))
+        return index
+
+    def suppresses(self, finding: Finding) -> bool:
+        if ALL in self.file_wide or finding.rule in self.file_wide:
+            return True
+        rules = self.by_line.get(finding.line)
+        if rules is None:
+            return False
+        return ALL in rules or finding.rule in rules
+
+
+def _rule_set(group: str | None) -> set[str]:
+    if group is None:
+        return {ALL}
+    return {name.strip() for name in group.split(",") if name.strip()}

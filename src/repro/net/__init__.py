@@ -16,6 +16,7 @@ parameters.  This package provides those NS-2 building blocks:
 * topology builders (chains/stars and the paper's daisy-chain configs).
 """
 
+from repro.net.errors import NetError, AgentConfigError, NoRouteError
 from repro.net.packet import Packet
 from repro.net.node import Node
 from repro.net.link import Link, DuplexLink
@@ -30,6 +31,9 @@ from repro.net.sink import SinkAgent
 from repro.net.topology import chain_topology, star_topology
 
 __all__ = [
+    "NetError",
+    "AgentConfigError",
+    "NoRouteError",
     "Packet",
     "Node",
     "Link",

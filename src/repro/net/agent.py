@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.net.node import Node
+from repro.net.errors import AgentConfigError, NoRouteError
 from repro.net.packet import Packet
 
 
@@ -44,9 +45,9 @@ class NetAgent:
         the agent is not attached/connected (misconfiguration raises).
         """
         if self.node is None:
-            raise RuntimeError(f"agent {self.name} is not attached to a node")
+            raise AgentConfigError(f"agent {self.name} is not attached to a node")
         if self.peer_node is None:
-            raise RuntimeError(f"agent {self.name} is not connected to a peer")
+            raise AgentConfigError(f"agent {self.name} is not connected to a peer")
         packet = Packet(
             self.packet_kind,
             size,
@@ -66,7 +67,7 @@ class NetAgent:
         """Push a packet towards its destination over the node's link."""
         link = self.node.link_to(self.peer_node)
         if link is None:
-            raise RuntimeError(
+            raise NoRouteError(
                 f"no link from {self.node.name} to {self.peer_node.name}"
             )
         link.send(packet)

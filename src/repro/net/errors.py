@@ -1,0 +1,17 @@
+"""Error hierarchy of the packet-level network simulator.
+
+The misuse errors subclass :class:`RuntimeError` so pre-hierarchy
+callers catching ``RuntimeError`` keep working.
+"""
+
+
+class NetError(Exception):
+    """Base class for network-simulator errors."""
+
+
+class AgentConfigError(NetError, RuntimeError):
+    """An agent was used before being attached/connected (NS-2 misuse)."""
+
+
+class NoRouteError(NetError, RuntimeError):
+    """No link exists between the two nodes a packet must traverse."""

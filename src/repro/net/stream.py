@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.net.agent import NetAgent
+from repro.net.errors import NoRouteError
 from repro.net.node import Node
 from repro.net.packet import Packet
 
@@ -83,7 +84,7 @@ class StreamAgent(NetAgent):
             raise ValueError("cannot send an empty stream chunk")
         link = self.node.link_to(self.hub)
         if link is None:
-            raise RuntimeError(f"{self.name} has no uplink to the switch")
+            raise NoRouteError(f"{self.name} has no uplink to the switch")
         wire_total = 0
         for offset in range(0, len(data), self.mss):
             chunk = data[offset : offset + self.mss]

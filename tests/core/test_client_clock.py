@@ -1,0 +1,76 @@
+"""SpaceClient pacing through the injectable clock (determinism fix).
+
+The client used to ``import time`` and busy-poll with ``time.sleep``;
+now it paces through a :class:`repro.core.clock.Clock`, so a test (or a
+simulation harness) controls polling time explicitly and a run never
+touches the wall clock.
+"""
+
+import pytest
+
+from repro.core import ManualClock, SpaceClient, XmlCodec
+from repro.core.clock import SystemClock
+from repro.core.errors import ConnectionClosedError
+from repro.core.protocol import Message, MessageType, encode_message
+
+
+class SlowConnection:
+    """Returns empty reads N times before yielding the queued reply."""
+
+    def __init__(self, codec, empty_reads):
+        self.codec = codec
+        self.empty_reads = empty_reads
+        self.closed = False
+        self._reply = b""
+
+    def send_bytes(self, data):
+        # Every request is answered with a PONG for request id 1.
+        self._reply = encode_message(
+            Message(MessageType.PONG, 1, {}, None), self.codec
+        )
+
+    def recv_bytes(self, max_bytes=65536):
+        if self.empty_reads > 0:
+            self.empty_reads -= 1
+            return b""
+        reply, self._reply = self._reply, b""
+        return reply
+
+
+def test_polling_advances_injected_clock_only():
+    codec = XmlCodec()
+    clock = ManualClock()
+    client = SpaceClient(
+        SlowConnection(codec, empty_reads=3),
+        codec,
+        poll_interval=0.25,
+        clock=clock,
+    )
+    assert client.ping()
+    assert clock.now() == pytest.approx(3 * 0.25)
+
+
+def test_default_clock_is_wall_clock():
+    codec = XmlCodec()
+    client = SpaceClient(SlowConnection(codec, empty_reads=0), codec)
+    assert isinstance(client.clock, SystemClock)
+    assert client.ping()
+
+
+def test_closed_connection_raises_domain_error():
+    codec = XmlCodec()
+    connection = SlowConnection(codec, empty_reads=10)
+    connection.closed = True
+    client = SpaceClient(connection, codec, clock=ManualClock())
+    with pytest.raises(ConnectionClosedError):
+        client.ping()
+    # The domain error still honours the builtin contract.
+    assert issubclass(ConnectionClosedError, ConnectionError)
+
+
+def test_manual_clock_sleep_advances():
+    clock = ManualClock(start=5.0)
+    clock.sleep(1.5)
+    assert clock.now() == pytest.approx(6.5)
+    with pytest.raises(ValueError):
+        clock.sleep(-1.0)

@@ -1,0 +1,33 @@
+"""Helpers for feeding fixture snippets to individual lint rules."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Optional
+
+from repro.lint import FileReport, LintConfig, instantiate, lint_source
+
+
+def run_rule(
+    source: str,
+    rule_id: str,
+    *,
+    module: str = "repro.fixture.mod",
+    path: str = "fixture.py",
+    config: Optional[LintConfig] = None,
+) -> FileReport:
+    """Lint a dedented snippet with exactly one rule enabled."""
+    config = config if config is not None else LintConfig()
+    rules = instantiate(config, select=[rule_id])
+    return lint_source(
+        textwrap.dedent(source),
+        path=path,
+        module=module,
+        config=config,
+        rules=rules,
+    )
+
+
+def rule_lines(report: FileReport, rule_id: str) -> list[int]:
+    """Line numbers of the surviving findings of one rule."""
+    return [f.line for f in report.findings if f.rule == rule_id]

@@ -1,0 +1,119 @@
+"""Rule broad-except: positives, negatives, suppression."""
+
+from tests.lint.lintutil import rule_lines, run_rule
+
+RULE = "broad-except"
+
+
+def test_bare_except_flagged():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except:
+            pass
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [3]
+
+
+def test_except_exception_flagged():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except Exception:
+            result = None
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [3]
+
+
+def test_exception_in_tuple_flagged():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except (KeyError, Exception):
+            pass
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [3]
+
+
+def test_narrow_except_not_flagged():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except ValueError:
+            pass
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_reraise_allowed():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except Exception:
+            cleanup()
+            raise
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_logging_allowed():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except Exception as exc:
+            log.warning("work failed: %s", exc)
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_raise_in_nested_function_does_not_count():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except Exception:
+            def handler():
+                raise ValueError("later")
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [3]
+
+
+def test_applies_outside_repro_scope():
+    report = run_rule(
+        "try:\n    work()\nexcept:\n    pass\n", RULE, module="tests.fixture"
+    )
+    assert rule_lines(report, RULE) == [3]
+
+
+def test_suppression():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except Exception:  # lint: disable=broad-except
+            pass
+        """,
+        RULE,
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == [RULE]

@@ -1,0 +1,90 @@
+"""Rule error-hierarchy: positives, negatives, config override."""
+
+from repro.lint import LintConfig
+
+from tests.lint.lintutil import rule_lines, run_rule
+
+RULE = "error-hierarchy"
+
+
+def test_raise_exception_flagged():
+    report = run_rule(
+        """\
+        def fail():
+            raise Exception("boom")
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [2]
+
+
+def test_raise_runtime_error_flagged():
+    report = run_rule("raise RuntimeError('no bridge')\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_raise_bare_name_flagged():
+    report = run_rule("raise OSError\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_contract_builtins_allowed():
+    report = run_rule(
+        """\
+        def validate(n):
+            if n < 0:
+                raise ValueError(f"bad {n}")
+            raise NotImplementedError
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_domain_errors_allowed():
+    report = run_rule(
+        """\
+        from repro.tpwire.errors import FrameError
+
+        def fail():
+            raise FrameError("bad frame")
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_dotted_domain_error_allowed():
+    report = run_rule("raise errors.BusTimeout('late')\n", RULE)
+    assert report.findings == []
+
+
+def test_bare_reraise_allowed():
+    report = run_rule(
+        """\
+        try:
+            work()
+        except ValueError:
+            raise
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_allowed_builtins_configurable():
+    config = LintConfig(
+        rule_options={RULE: {"allowed-builtins": ["RuntimeError"]}}
+    )
+    flagged = run_rule("raise ValueError('x')\n", RULE, config=config)
+    allowed = run_rule("raise RuntimeError('x')\n", RULE, config=config)
+    assert rule_lines(flagged, RULE) == [1]
+    assert allowed.findings == []
+
+
+def test_suppression():
+    report = run_rule(
+        "raise RuntimeError('x')  # lint: disable=error-hierarchy\n", RULE
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == [RULE]

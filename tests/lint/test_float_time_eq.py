@@ -1,0 +1,66 @@
+"""Rule float-time-eq: positives, negatives, suppression."""
+
+from tests.lint.lintutil import rule_lines, run_rule
+
+RULE = "float-time-eq"
+
+
+def test_now_call_equality_flagged():
+    report = run_rule(
+        """\
+        def expired(clock, lease):
+            return clock.now() == lease.expires_at
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [2]
+
+
+def test_timestamp_suffix_equality_flagged():
+    report = run_rule(
+        """\
+        def same(a, b):
+            return a.start_time != b.start_time
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [2]
+
+
+def test_deadline_name_flagged():
+    report = run_rule("hit = deadline == t\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_ordering_comparisons_not_flagged():
+    report = run_rule(
+        """\
+        def due(clock, deadline):
+            return clock.now() >= deadline
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_none_sentinel_not_flagged():
+    report = run_rule("missing = created_at == None\n", RULE)
+    assert report.findings == []
+
+
+def test_is_none_not_flagged():
+    report = run_rule("missing = expires_at is None\n", RULE)
+    assert report.findings == []
+
+
+def test_unrelated_names_not_flagged():
+    report = run_rule("same = msg_type == other.msg_type\ncount = n == 3\n", RULE)
+    assert report.findings == []
+
+
+def test_suppression():
+    report = run_rule(
+        "hit = deadline == t  # lint: disable=float-time-eq\n", RULE
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == [RULE]

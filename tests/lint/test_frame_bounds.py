@@ -1,0 +1,106 @@
+"""Rule frame-bounds: positives, negatives, source cross-check."""
+
+from pathlib import Path
+
+from repro.lint import LintConfig
+from repro.lint.bounds import (
+    FALLBACK_BROADCAST_NODE_ID,
+    FALLBACK_FRAME_BITS,
+    frame_field_bounds,
+)
+from repro.tpwire.commands import BROADCAST_NODE_ID
+from repro.tpwire.frames import FRAME_BITS
+
+from tests.lint.lintutil import rule_lines, run_rule
+
+RULE = "frame-bounds"
+MODULE = "repro.tpwire.fixture"
+
+
+def test_oversized_slave_id_assignment_flagged():
+    report = run_rule("slave_id = 200\n", RULE, module=MODULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_negative_node_id_flagged():
+    report = run_rule("node_id = -1\n", RULE, module=MODULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_oversized_comparison_flagged():
+    report = run_rule(
+        """\
+        def check(frame):
+            return frame.data == 0x1FF
+        """,
+        RULE,
+        module=MODULE,
+    )
+    assert rule_lines(report, RULE) == [2]
+
+
+def test_oversized_keyword_argument_flagged():
+    report = run_rule("make_frame(cmd=9, data=0)\n", RULE, module=MODULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_oversized_crc_comparison_flagged():
+    report = run_rule("bad = crc != 0x10\n", RULE, module=MODULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_in_range_literals_not_flagged():
+    report = run_rule(
+        """\
+        slave_id = 127
+        data = 0xFF
+        cmd = 7
+        crc = 0xF
+        ok = word == 0xFFFF
+        """,
+        RULE,
+        module=MODULE,
+    )
+    assert report.findings == []
+
+
+def test_non_literals_not_flagged():
+    report = run_rule("slave_id = compute_id()\ndata = a + b\n", RULE, module=MODULE)
+    assert report.findings == []
+
+
+def test_unrelated_names_not_flagged():
+    report = run_rule("payload_len = 5000\n", RULE, module=MODULE)
+    assert report.findings == []
+
+
+def test_out_of_scope_module_not_flagged():
+    report = run_rule("slave_id = 200\n", RULE, module="repro.core.space")
+    assert report.findings == []
+
+
+def test_configured_extra_field():
+    config = LintConfig(rule_options={RULE: {"fields": {"burst_len": 255}}})
+    report = run_rule("burst_len = 300\n", RULE, module=MODULE, config=config)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_suppression():
+    report = run_rule(
+        "slave_id = 200  # lint: disable=frame-bounds\n", RULE, module=MODULE
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == [RULE]
+
+
+def test_bounds_cross_checked_against_protocol_sources():
+    bounds = frame_field_bounds()
+    assert bounds["word"].max_value == (1 << FRAME_BITS) - 1
+    assert bounds["slave_id"].max_value == BROADCAST_NODE_ID
+    assert bounds["node_id"].max_value == BROADCAST_NODE_ID
+
+
+def test_bounds_fall_back_without_sources(tmp_path: Path):
+    bounds = frame_field_bounds(tmp_path)
+    assert bounds["word"].max_value == (1 << FALLBACK_FRAME_BITS) - 1
+    assert bounds["slave_id"].max_value == FALLBACK_BROADCAST_NODE_ID

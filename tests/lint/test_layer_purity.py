@@ -1,0 +1,57 @@
+"""Rule layer-purity: positives, negatives, scope, suppression."""
+
+from tests.lint.lintutil import rule_lines, run_rule
+
+RULE = "layer-purity"
+
+
+def test_threading_in_des_flagged():
+    report = run_rule("import threading\n", RULE, module="repro.des.scheduler")
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_socket_from_import_in_net_flagged():
+    report = run_rule("from socket import socket\n", RULE, module="repro.net.link")
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_asyncio_in_tpwire_flagged():
+    report = run_rule("import asyncio\n", RULE, module="repro.tpwire.bus")
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_concurrent_futures_in_hw_flagged():
+    report = run_rule(
+        "from concurrent.futures import ThreadPoolExecutor\n",
+        RULE,
+        module="repro.hw.kernel",
+    )
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_core_transports_out_of_scope():
+    report = run_rule(
+        "import socket\nimport threading\n",
+        RULE,
+        module="repro.core.transports",
+    )
+    assert report.findings == []
+
+
+def test_benign_imports_not_flagged():
+    report = run_rule(
+        "import enum\nfrom dataclasses import dataclass\n",
+        RULE,
+        module="repro.des.event",
+    )
+    assert report.findings == []
+
+
+def test_suppression():
+    report = run_rule(
+        "import threading  # lint: disable=layer-purity\n",
+        RULE,
+        module="repro.des.scheduler",
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == [RULE]

@@ -1,0 +1,63 @@
+"""Rule mutable-default: positives, negatives, suppression."""
+
+from tests.lint.lintutil import rule_lines, run_rule
+
+RULE = "mutable-default"
+
+
+def test_list_literal_default_flagged():
+    report = run_rule("def f(history=[]):\n    return history\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_dict_literal_default_flagged():
+    report = run_rule("def f(cache={}):\n    return cache\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_constructor_call_default_flagged():
+    report = run_rule("def f(seen=set()):\n    return seen\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_kwonly_default_flagged():
+    report = run_rule("def f(*, acc=[]):\n    return acc\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_lambda_default_flagged():
+    report = run_rule("g = lambda acc=[]: acc\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_applies_outside_repro_scope():
+    report = run_rule("def f(x=[]):\n    pass\n", RULE, module="tests.fixture")
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_immutable_defaults_not_flagged():
+    report = run_rule(
+        "def f(x=None, y=0, z=(), name='a', flag=True):\n    pass\n", RULE
+    )
+    assert report.findings == []
+
+
+def test_none_sentinel_pattern_not_flagged():
+    report = run_rule(
+        """\
+        def f(items=None):
+            if items is None:
+                items = []
+            return items
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_suppression():
+    report = run_rule(
+        "def f(history=[]):  # lint: disable=mutable-default\n    pass\n", RULE
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == [RULE]

@@ -1,0 +1,60 @@
+"""Suppression comments: line-level, blanket, and file-level forms."""
+
+from repro.lint.suppressions import FILE_PRAGMA_WINDOW, SuppressionIndex
+
+from tests.lint.lintutil import run_rule
+
+
+def test_blanket_line_disable_suppresses_every_rule():
+    report = run_rule(
+        "import time\ntime.sleep(1)  # lint: disable\n", "wall-clock"
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_disable_of_other_rule_does_not_suppress():
+    report = run_rule(
+        "import time\ntime.sleep(1)  # lint: disable=broad-except\n",
+        "wall-clock",
+    )
+    assert [f.rule for f in report.findings] == ["wall-clock"]
+    assert report.suppressed == []
+
+
+def test_multiple_rules_in_one_comment():
+    index = SuppressionIndex.from_lines(
+        ["x = 1  # lint: disable=rule-a, rule-b"]
+    )
+    assert index.by_line[1] == {"rule-a", "rule-b"}
+
+
+def test_file_level_disable():
+    report = run_rule(
+        """\
+        # lint: disable-file=wall-clock
+        import time
+
+        def poll():
+            time.sleep(1)
+        """,
+        "wall-clock",
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_file_level_disable_ignored_after_window():
+    lines = [""] * FILE_PRAGMA_WINDOW + ["# lint: disable-file=wall-clock"]
+    index = SuppressionIndex.from_lines(lines)
+    assert index.file_wide == set()
+
+
+def test_suppressed_findings_are_still_reported_separately():
+    report = run_rule(
+        "raise RuntimeError('x')  # lint: disable=error-hierarchy\n",
+        "error-hierarchy",
+    )
+    assert report.findings == []
+    assert report.suppressed[0].rule == "error-hierarchy"
+    assert report.suppressed[0].line == 1

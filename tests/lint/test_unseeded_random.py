@@ -1,0 +1,64 @@
+"""Rule unseeded-random: positives, negatives, whitelist, suppression."""
+
+from tests.lint.lintutil import rule_lines, run_rule
+
+RULE = "unseeded-random"
+
+
+def test_module_level_call_flagged():
+    report = run_rule(
+        """\
+        import random
+
+        def jitter():
+            return random.random() * 0.01
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [4]
+
+
+def test_from_import_flagged():
+    report = run_rule("from random import randint\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_random_seed_flagged():
+    report = run_rule("import random\nrandom.seed(42)\n", RULE)
+    assert rule_lines(report, RULE) == [2]
+
+
+def test_explicit_random_instance_allowed():
+    report = run_rule(
+        """\
+        import random
+
+        def make_stream(seed):
+            return random.Random(seed)
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_from_import_random_class_allowed():
+    report = run_rule("from random import Random\n", RULE)
+    assert report.findings == []
+
+
+def test_stream_registry_module_whitelisted():
+    report = run_rule(
+        "import random\nrandom.random()\n",
+        RULE,
+        module="repro.des.random_streams",
+    )
+    assert report.findings == []
+
+
+def test_suppression():
+    report = run_rule(
+        "import random\nrandom.random()  # lint: disable=unseeded-random\n",
+        RULE,
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == [RULE]

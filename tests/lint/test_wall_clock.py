@@ -1,0 +1,119 @@
+"""Rule wall-clock: positives, negatives, whitelist, suppression."""
+
+from tests.lint.lintutil import rule_lines, run_rule
+
+RULE = "wall-clock"
+
+
+def test_time_sleep_flagged():
+    report = run_rule(
+        """\
+        import time
+
+        def poll():
+            time.sleep(0.005)
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [4]
+
+
+def test_aliased_import_flagged():
+    report = run_rule(
+        """\
+        import time as _time
+
+        def now():
+            return _time.monotonic()
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [4]
+
+
+def test_from_time_import_flagged():
+    report = run_rule("from time import sleep\n", RULE)
+    assert rule_lines(report, RULE) == [1]
+
+
+def test_datetime_now_flagged():
+    report = run_rule(
+        """\
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [4]
+
+
+def test_from_datetime_import_datetime_now_flagged():
+    report = run_rule(
+        """\
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """,
+        RULE,
+    )
+    assert rule_lines(report, RULE) == [4]
+
+
+def test_injected_clock_not_flagged():
+    report = run_rule(
+        """\
+        def poll(clock, interval):
+            deadline = clock.now() + interval
+            clock.sleep(interval)
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_non_clock_time_attr_not_flagged():
+    report = run_rule(
+        """\
+        import time
+
+        def fmt(t):
+            return time.strftime("%H:%M", t)
+        """,
+        RULE,
+    )
+    assert report.findings == []
+
+
+def test_whitelisted_module_not_flagged():
+    report = run_rule(
+        "import time\n\ndef now():\n    return time.monotonic()\n",
+        RULE,
+        module="repro.core.clock",
+    )
+    assert report.findings == []
+
+
+def test_out_of_scope_module_not_flagged():
+    report = run_rule(
+        "import time\ntime.sleep(1)\n",
+        RULE,
+        module="tests.something",
+    )
+    assert report.findings == []
+
+
+def test_suppression():
+    report = run_rule(
+        """\
+        import time
+
+        def poll():
+            time.sleep(0.005)  # lint: disable=wall-clock
+        """,
+        RULE,
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.suppressed] == [RULE]
