@@ -40,7 +40,7 @@ def test_xml_decode_throughput(benchmark, codec):
     assert decoded == default_entry()
 
 
-def test_xml_size_overhead(benchmark, codec, report):
+def test_xml_size_overhead(benchmark, codec, report, bench_json):
     entry = default_entry()
     xml_bytes = len(codec.encode(entry))
     json_bytes = json_size(entry)
@@ -64,6 +64,14 @@ def test_xml_size_overhead(benchmark, codec, report):
         "ablation_codec",
         table.render() + f"\ninflation {inflation:.2f}x -> "
         f"~{extra_seconds:.0f} s of extra Table-4 time per operation",
+    )
+    bench_json(
+        "ablation_codec",
+        rows=table.to_records(),
+        derived={
+            "inflation": inflation,
+            "extra_bus_seconds_per_operation": extra_seconds,
+        },
     )
 
     assert 1.2 <= inflation <= 4.0

@@ -48,7 +48,7 @@ def curve():
     return [run_pool(n) for n in CONSUMER_COUNTS]
 
 
-def test_consumer_pool_scaling(benchmark, curve, report):
+def test_consumer_pool_scaling(benchmark, curve, report, bench_json):
     benchmark.pedantic(lambda: run_pool(2, n_producers=4, n_jobs=3),
                        rounds=2, iterations=1)
     table = Table(
@@ -62,6 +62,11 @@ def test_consumer_pool_scaling(benchmark, curve, report):
     report("ablation_consumers", table.render())
 
     responses = [p["mean_response"] for p in curve]
+    bench_json(
+        "ablation_consumers",
+        rows=table.to_records(),
+        derived={"speedup_1_to_2_consumers": responses[0] / responses[1]},
+    )
     # Monotone improvement...
     assert responses == sorted(responses, reverse=True)
     # ...roughly proportional (1 -> 2 consumers halves the

@@ -26,7 +26,7 @@ def both():
     return ethernet, tpwire
 
 
-def test_substrate_comparison(benchmark, both, report):
+def test_substrate_comparison(benchmark, both, report, bench_json):
     benchmark.pedantic(lambda: EthernetCaseStudy().run(), rounds=3,
                        iterations=1)
     ethernet, tpwire = both
@@ -53,6 +53,11 @@ def test_substrate_comparison(benchmark, both, report):
         table.render() + f"\nEthernet is {speedup:.0f}x faster but needs "
         "switch hardware and full cabling - the cost the paper's "
         "low-cost applications cannot amortise.",
+    )
+    bench_json(
+        "ablation_ethernet_vs_tpwire",
+        rows=table.to_records(),
+        derived={"ethernet_speedup": speedup},
     )
 
     assert ethernet.completed and tpwire.completed

@@ -57,7 +57,7 @@ def measure_dma_raw(use_dma: bool, n=128):
     return sim.now
 
 
-def test_dma_raw_write_speedup(benchmark, report):
+def test_dma_raw_write_speedup(benchmark, report, bench_json):
     plain = measure_dma_raw(use_dma=False)
     dma = benchmark.pedantic(
         lambda: measure_dma_raw(use_dma=True), rounds=2, iterations=1
@@ -69,11 +69,16 @@ def test_dma_raw_write_speedup(benchmark, report):
     table.add_row("per-byte writes", plain, 1.0)
     table.add_row("DMA burst", dma, plain / dma)
     report("ablation_dma_raw", table.render())
+    bench_json(
+        "ablation_dma_raw",
+        rows=table.to_records(),
+        derived={"dma_speedup": plain / dma},
+    )
     # Fire-and-forget bytes cost ~TX+gap instead of a full exchange.
     assert plain / dma > 1.3
 
 
-def test_dma_speeds_up_the_relay(benchmark, report):
+def test_dma_speeds_up_the_relay(benchmark, report, bench_json):
     plain = measure_delivery(use_dma=False)
     dma = benchmark.pedantic(
         lambda: measure_delivery(use_dma=True), rounds=1, iterations=1
@@ -85,6 +90,11 @@ def test_dma_speeds_up_the_relay(benchmark, report):
     table.add_row("baseline", plain, 1.0)
     table.add_row("DMA delivery", dma, plain / dma)
     report("ablation_dma_relay", table.render())
+    bench_json(
+        "ablation_dma_relay",
+        rows=table.to_records(),
+        derived={"relay_speedup": plain / dma},
+    )
     assert dma < plain * 0.9
 
 
@@ -99,7 +109,7 @@ def test_interrupt_scan_is_not_slower_when_loaded(benchmark):
     assert scan < robin * 1.5
 
 
-def test_combined_firmware_best(benchmark, report):
+def test_combined_firmware_best(benchmark, report, bench_json):
     baseline = measure_delivery(use_dma=False)
     combined = benchmark.pedantic(
         lambda: measure_delivery(
@@ -112,5 +122,13 @@ def test_combined_firmware_best(benchmark, report):
         "Combined firmware (DMA + interrupt scan) delivers 192 B in "
         f"{combined:.2f} s vs {baseline:.2f} s baseline "
         f"({baseline / combined:.2f}x).",
+    )
+    bench_json(
+        "ablation_firmware_combined",
+        rows=[
+            {"firmware": "baseline", "delivery_seconds": baseline},
+            {"firmware": "dma+interrupt-scan", "delivery_seconds": combined},
+        ],
+        derived={"combined_speedup": baseline / combined},
     )
     assert combined < baseline

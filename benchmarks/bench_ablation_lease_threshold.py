@@ -29,7 +29,7 @@ def sweep():
     return {cbr: run_point(cbr) for cbr in SWEEP}
 
 
-def test_lease_threshold_sweep(benchmark, sweep, report):
+def test_lease_threshold_sweep(benchmark, sweep, report, bench_json):
     benchmark.pedantic(lambda: run_point(0.2), rounds=1, iterations=1)
     table = Table(
         ["CBR B/s", "outcome", "elapsed s"],
@@ -46,6 +46,11 @@ def test_lease_threshold_sweep(benchmark, sweep, report):
         "ablation_lease_threshold",
         table.render() + f"\nmeasured threshold: first Out-of-Time at "
                          f"CBR = {threshold} B/s",
+    )
+    bench_json(
+        "ablation_lease_threshold",
+        rows=table.to_records(),
+        derived={"out_of_time_threshold_bytes_per_s": threshold},
     )
 
     # The threshold exists and sits strictly between 0.3 and 1.0 B/s

@@ -36,7 +36,7 @@ def test_bit_level_model_speed(benchmark):
     assert result.packets_delivered == 8
 
 
-def test_fidelity_cost_ratio(benchmark, report):
+def test_fidelity_cost_ratio(benchmark, report, bench_json):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     packet_result, packet_wall = run_model(bit_level=False)
     bit_result, bit_wall = run_model(bit_level=True)
@@ -55,6 +55,11 @@ def test_fidelity_cost_ratio(benchmark, report):
         "ablation_model_fidelity",
         table.render() + f"\nbit-level costs {ratio:.1f}x the wall time "
         "of the packet-level model",
+    )
+    bench_json(
+        "ablation_model_fidelity",
+        rows=table.to_records(),
+        derived={"bit_level_wall_cost_ratio": ratio},
     )
     # The whole point of the methodology: the validated cheap model is
     # considerably cheaper than the reference.

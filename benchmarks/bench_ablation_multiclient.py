@@ -71,7 +71,7 @@ def fleets():
     return {n: run_fleet(n) for n in CLIENT_COUNTS}
 
 
-def test_multiclient_scaling(benchmark, fleets, report):
+def test_multiclient_scaling(benchmark, fleets, report, bench_json):
     benchmark.pedantic(lambda: run_fleet(2), rounds=1, iterations=1)
     table = Table(
         ["client boards", "mean completion s", "worst completion s",
@@ -90,6 +90,11 @@ def test_multiclient_scaling(benchmark, fleets, report):
     means = [
         sum(c.values()) / len(c) for c in fleets.values()
     ]
+    bench_json(
+        "ablation_multiclient",
+        rows=table.to_records(),
+        derived={"slowdown_at_max_fleet": means[-1] / means[0]},
+    )
     # Adding boards costs: mean completion grows with the fleet...
     assert means == sorted(means)
     # ...roughly linearly: the bus is a fair-shared serial resource.

@@ -36,7 +36,7 @@ def sweep():
     return [run_point(p) for p in ERROR_RATES]
 
 
-def test_noisy_line_sweep(benchmark, sweep, report):
+def test_noisy_line_sweep(benchmark, sweep, report, bench_json):
     benchmark.pedantic(lambda: run_point(0.02), rounds=1, iterations=1)
     table = Table(
         ["frame error rate", "write+take", "recovered bytes",
@@ -53,11 +53,16 @@ def test_noisy_line_sweep(benchmark, sweep, report):
             point["retries"],
         )
     report("ablation_noisy_line", table.render())
+    times = [p["result"].elapsed_seconds for p in sweep]
+    bench_json(
+        "ablation_noisy_line",
+        rows=table.to_records(),
+        derived={"worst_case_penalty": times[-1] / times[0]},
+    )
 
     # Correctness at every rate; time grows monotonically with errors.
     for point in sweep:
         assert point["result"].completed
-    times = [p["result"].elapsed_seconds for p in sweep]
     assert times == sorted(times)
     # Even at 10% corruption the penalty stays under ~40%.
     assert times[-1] < times[0] * 1.4

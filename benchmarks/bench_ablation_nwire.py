@@ -76,7 +76,7 @@ def measure_parallel_buses(wires, payload=192):
     return wires * payload / makespan
 
 
-def test_parallel_data_mode_scaling(benchmark, report):
+def test_parallel_data_mode_scaling(benchmark, report, bench_json):
     rows = benchmark.pedantic(parallel_data_curve, rounds=3, iterations=1)
     table = Table(
         ["wires", "frame bits", "exchange ms (2 hops)", "speedup"],
@@ -88,13 +88,18 @@ def test_parallel_data_mode_scaling(benchmark, report):
     report("ablation_nwire_parallel_data", table.render())
 
     speedups = [row["speedup"] for row in rows]
+    bench_json(
+        "ablation_nwire_parallel_data",
+        rows=table.to_records(),
+        derived={"max_parallel_data_speedup": speedups[-1]},
+    )
     assert speedups == sorted(speedups)
     # Diminishing returns: the lead+CRC bits floor the frame at 8 periods.
     assert speedups[-1] < 2.1
     assert rows[-1]["frame_bits"] == 8
 
 
-def test_parallel_bus_mode_scaling(benchmark, report):
+def test_parallel_bus_mode_scaling(benchmark, report, bench_json):
     goodputs = {
         wires: measure_parallel_buses(wires) for wires in (1, 2, 4)
     }
@@ -108,6 +113,14 @@ def test_parallel_bus_mode_scaling(benchmark, report):
     for wires, goodput in goodputs.items():
         table.add_row(wires, goodput, goodput / goodputs[1])
     report("ablation_nwire_parallel_bus", table.render())
+    bench_json(
+        "ablation_nwire_parallel_bus",
+        rows=table.to_records(),
+        derived={
+            "scaling_2_lines": goodputs[2] / goodputs[1],
+            "scaling_4_lines": goodputs[4] / goodputs[1],
+        },
+    )
 
     # Independent lines scale nearly linearly for independent flows.
     assert goodputs[2] / goodputs[1] == pytest.approx(2.0, rel=0.15)

@@ -59,7 +59,7 @@ def sweep():
     return [run_policy(n) for n in RETRY_COUNTS]
 
 
-def test_retry_policy_sweep(benchmark, sweep, report):
+def test_retry_policy_sweep(benchmark, sweep, report, bench_json):
     benchmark.pedantic(lambda: run_policy(3), rounds=2, iterations=1)
     table = Table(
         ["max retries", "ops ok", "ops failed", "elapsed s",
@@ -73,6 +73,15 @@ def test_retry_policy_sweep(benchmark, sweep, report):
     report("ablation_retry", table.render())
 
     by_retries = {row["retries"]: row for row in sweep}
+    bench_json(
+        "ablation_retry",
+        rows=table.to_records(),
+        derived={
+            "retry_time_overhead": (
+                by_retries[3]["elapsed"] / by_retries[0]["elapsed"]
+            ),
+        },
+    )
     # With no retries a sizeable fraction of operations fail...
     assert by_retries[0]["failed"] > N_OPS * ERROR_RATE / 2
     # ...three retries (the default) make failures essentially vanish,

@@ -42,7 +42,7 @@ def test_scheduler_event_throughput(benchmark, factory):
     assert N_EVENTS <= result <= N_EVENTS + 16
 
 
-def test_scheduler_choice_does_not_change_results(benchmark, report):
+def test_scheduler_choice_does_not_change_results(benchmark, report, bench_json):
     """Determinism across scheduler implementations: identical firing
     order implies identical simulation results."""
     def orders():
@@ -64,5 +64,14 @@ def test_scheduler_choice_does_not_change_results(benchmark, report):
         "Scheduler ablation: heap and calendar queue fire "
         f"{len(heap_order)} events in identical order: "
         f"{heap_order == calendar_order}",
+    )
+    bench_json(
+        "ablation_scheduler",
+        rows=[
+            {
+                "events": len(heap_order),
+                "identical_order": heap_order == calendar_order,
+            }
+        ],
     )
     assert heap_order == calendar_order

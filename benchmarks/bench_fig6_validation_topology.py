@@ -33,7 +33,7 @@ def series():
     return [run_point(rate) for rate in OFFERED_RATES]
 
 
-def test_fig6_single_byte_transfer_time(benchmark, report):
+def test_fig6_single_byte_transfer_time(benchmark, report, bench_json):
     """The validation measurement itself: time to move one byte."""
     def one_byte():
         return ValidationScenario(cbr_rate=8.0).run(1)
@@ -45,12 +45,22 @@ def test_fig6_single_byte_transfer_time(benchmark, report):
         f"{result.elapsed_seconds * 1000:.1f} ms of simulated time over "
         f"{result.total_frames} frames at 2400 bit/s.",
     )
+    bench_json(
+        "fig6_single_byte",
+        rows=[
+            {
+                "elapsed_seconds": result.elapsed_seconds,
+                "total_frames": result.total_frames,
+                "bytes_delivered": result.bytes_delivered,
+            }
+        ],
+    )
     # A mediated 1-byte transfer costs on the order of 40+ frames.
     assert result.total_frames >= 20
     assert 0.1 <= result.elapsed_seconds <= 2.0
 
 
-def test_fig6_offered_rate_sweep(benchmark, series, report):
+def test_fig6_offered_rate_sweep(benchmark, series, report, bench_json):
     benchmark.pedantic(lambda: run_point(8.0, n_packets=10), rounds=2,
                        iterations=1)
     table = Table(
@@ -64,10 +74,15 @@ def test_fig6_offered_rate_sweep(benchmark, series, report):
             point["goodput"], point["frames_per_byte"],
         )
     report("fig6_validation_topology", table.render())
+    goodputs = [p["goodput"] for p in series]
+    bench_json(
+        "fig6_validation_topology",
+        rows=table.to_records(),
+        derived={"saturated_goodput_bytes_per_s": goodputs[-1]},
+    )
 
     # Goodput saturates: beyond the bus relay capacity, increasing the
     # offered rate stops increasing the goodput.
-    goodputs = [p["goodput"] for p in series]
     assert goodputs[-1] == pytest.approx(goodputs[-2], rel=0.35)
     # Latency grows once the offered rate exceeds the service rate.
     assert series[-1]["latency"] > series[0]["latency"]

@@ -22,7 +22,7 @@ def scenario_result():
     return scenario, result
 
 
-def test_fig7_topology_end_to_end(benchmark, scenario_result, report):
+def test_fig7_topology_end_to_end(benchmark, scenario_result, report, bench_json):
     benchmark.pedantic(
         lambda: CaseStudyScenario(CaseStudyConfig()).run(max_sim_time=4000.0),
         rounds=2, iterations=1,
@@ -39,6 +39,19 @@ def test_fig7_topology_end_to_end(benchmark, scenario_result, report):
     table.add_row("CBR bytes delivered", result.cbr_bytes_delivered)
     table.add_row("server requests", scenario.server.requests_handled)
     report("fig7_case_study", table.render())
+    bench_json(
+        "fig7_case_study",
+        rows=[
+            {
+                "elapsed_seconds": result.elapsed_seconds,
+                "write_ack_seconds": result.write_ack_seconds,
+                "bus_tx_frames": result.bus_tx_frames,
+                "bus_utilization": result.bus_utilization,
+                "cbr_bytes_delivered": result.cbr_bytes_delivered,
+                "server_requests": scenario.server.requests_handled,
+            }
+        ],
+    )
 
     assert result.completed
     # Both phases crossed the bus.

@@ -38,7 +38,7 @@ def measurements():
     return frame_factor, bit_level, packet_level
 
 
-def test_scaling_factor_predicts_full_stack(benchmark, measurements, report):
+def test_scaling_factor_predicts_full_stack(benchmark, measurements, report, bench_json):
     benchmark.pedantic(
         lambda: CaseStudyScenario(CaseStudyConfig()).run(max_sim_time=4000.0),
         rounds=1, iterations=1,
@@ -58,6 +58,18 @@ def test_scaling_factor_predicts_full_stack(benchmark, measurements, report):
     table.add_row("prediction error",
                   f"{abs(full_ratio - frame_factor):.4f}")
     report("fullstack_validation", table.render())
+    bench_json(
+        "fullstack_validation",
+        rows=[
+            {
+                "frame_scaling_factor": frame_factor,
+                "bit_level_seconds": bit_level.elapsed_seconds,
+                "packet_level_seconds": packet_level.elapsed_seconds,
+                "full_stack_ratio": full_ratio,
+            }
+        ],
+        derived={"prediction_error": abs(full_ratio - frame_factor)},
+    )
 
     assert bit_level.completed and packet_level.completed
     # The micro-derived factor predicts the macro ratio within 3%.

@@ -19,6 +19,7 @@ from repro.cosim import (
     derive_scaling_factor,
     run_validation_suite,
 )
+from repro.obs import Observability
 
 #: Workload sizes (packets of 1 byte); each packet costs ~46 frames.
 WORKLOADS = [5, 15, 30]
@@ -29,7 +30,7 @@ def points():
     return run_validation_suite(WORKLOADS)
 
 
-def test_table3_validation(benchmark, points, report):
+def test_table3_validation(benchmark, points, report, bench_json):
     # Time the NS-2-analog model run (the artifact the paper validates).
     benchmark.pedantic(
         lambda: ValidationScenario(bit_level=False, cbr_rate=8.0).run(10),
@@ -55,6 +56,19 @@ def test_table3_validation(benchmark, points, report):
     report(
         "table3_validation",
         table.render() + f"\nderived scaling factor (hw/ns2): {factor:.4f}",
+    )
+
+    # Structured artefact: the same rows plus the instrumented metrics
+    # of one model run (an Observability attached to the largest workload).
+    obs = Observability()
+    ValidationScenario(bit_level=False, cbr_rate=8.0, obs=obs).run(
+        WORKLOADS[-1]
+    )
+    bench_json(
+        "table3_validation",
+        rows=table.to_records(),
+        derived={"scaling_factor_hw_over_ns2": factor},
+        metrics=obs.metrics,
     )
 
     assert 0.85 <= factor <= 1.15

@@ -18,6 +18,7 @@ import pytest
 
 from repro.analysis import Comparison, Table, render_comparisons
 from repro.cosim import CaseStudyConfig, CaseStudyScenario
+from repro.obs import Observability
 
 CBR_RATES = [0.0, 0.3, 1.0]
 PAPER = {
@@ -40,7 +41,7 @@ def cells():
     }
 
 
-def test_table4_tuplespace_impact(benchmark, cells, report):
+def test_table4_tuplespace_impact(benchmark, cells, report, bench_json):
     benchmark.pedantic(lambda: run_cell(1, 0.0), rounds=2, iterations=1)
 
     table = Table(
@@ -72,6 +73,33 @@ def test_table4_tuplespace_impact(benchmark, cells, report):
         table.render() + "\n\n" + render_comparisons(
             comparisons, title="paper vs measured",
         ),
+    )
+
+    # Structured artefact: per-cell elapsed seconds plus the metrics of
+    # an instrumented re-run of the baseline cell.
+    obs = Observability()
+    CaseStudyScenario(CaseStudyConfig(), obs=obs).run(max_sim_time=4000.0)
+    bench_json(
+        "table4_tuplespace_impact",
+        rows=[
+            {
+                "wires": wires,
+                "cbr_bytes_per_s": cbr,
+                "paper_seconds": PAPER[(wires, cbr)],
+                "elapsed_seconds": cells[(wires, cbr)].elapsed_seconds,
+                "completed": cells[(wires, cbr)].completed,
+                "out_of_time": cells[(wires, cbr)].out_of_time,
+            }
+            for wires in (1, 2)
+            for cbr in CBR_RATES
+        ],
+        derived={
+            "two_wire_speedup_at_cbr0": (
+                cells[(1, 0.0)].elapsed_seconds
+                / cells[(2, 0.0)].elapsed_seconds
+            ),
+        },
+        metrics=obs.metrics,
     )
 
     # --- shape assertions -------------------------------------------------

@@ -33,7 +33,7 @@ def variants():
     }
 
 
-def test_firmware_upgrade_rescues_the_failing_cell(benchmark, variants, report):
+def test_firmware_upgrade_rescues_the_failing_cell(benchmark, variants, report, bench_json):
     benchmark.pedantic(
         lambda: run_variant(True, PollStrategy.INTERRUPT_SCAN, cbr=0.0),
         rounds=1, iterations=1,
@@ -49,6 +49,18 @@ def test_firmware_upgrade_rescues_the_failing_cell(benchmark, variants, report):
         "whatif_firmware_upgrade",
         table.render() + "\nDMA delivery + INT-driven discovery keep the "
         "take inside the 160 s lease without the 2-wire hardware change.",
+    )
+    bench_json(
+        "whatif_firmware_upgrade",
+        rows=[
+            {
+                "firmware": name,
+                "elapsed_seconds": result.elapsed_seconds,
+                "completed": result.completed,
+                "out_of_time": result.out_of_time,
+            }
+            for name, result in variants.items()
+        ],
     )
 
     assert variants["baseline"].out_of_time      # the paper's cell

@@ -14,6 +14,7 @@ class Table:
         self.title = title
         self.headers = list(headers)
         self.rows: list[list[str]] = []
+        self._raw_rows: list[list[Any]] = []
 
     def add_row(self, *cells: Any) -> None:
         if len(cells) != len(self.headers):
@@ -21,7 +22,15 @@ class Table:
                 f"row has {len(cells)} cells, table has {len(self.headers)} "
                 "columns"
             )
+        self._raw_rows.append(list(cells))
         self.rows.append([_format_cell(cell) for cell in cells])
+
+    def to_records(self) -> list[dict]:
+        """Rows as header-keyed dicts of the *raw* (unformatted) cells,
+        the shape :func:`repro.obs.bench_payload` takes."""
+        return [
+            dict(zip(self.headers, row)) for row in self._raw_rows
+        ]
 
     def render(self) -> str:
         widths = [len(h) for h in self.headers]

@@ -85,6 +85,7 @@ class SpaceServer:
         codec: XmlCodec,
         timers: Optional[Timers] = None,
         name: str = "SpaceServer",
+        obs=None,
     ):
         self.space = space
         self.codec = codec
@@ -95,12 +96,25 @@ class SpaceServer:
         self._registrations: dict[int, Any] = {}
         self.requests_handled = 0
         self.errors_sent = 0
+        # -- observability (nullable; stamped with the space's clock)
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(space.clock.now)
+            self._ctr_requests = obs.metrics.counter("server.requests")
+            self._ctr_errors = obs.metrics.counter("server.errors")
+            self._wait_seconds = obs.metrics.histogram("server.wait_seconds")
 
     # -- main entry point -----------------------------------------------------
 
     def handle(self, session, message: Message) -> None:
         """Process one request; respond through ``session.send``."""
         self.requests_handled += 1
+        if self.obs is not None:
+            self._ctr_requests.inc()
+            self.obs.tracer.event(
+                "server", "request",
+                type=message.msg_type.name, request=message.request_id,
+            )
         handler = self._HANDLERS.get(message.msg_type)
         if handler is None:
             self._error(session, message, f"unexpected message type "
@@ -145,6 +159,17 @@ class SpaceServer:
             raise ProtocolError(f"{message.msg_type.name} carries no template")
         timeout = message.param_float("timeout", DEFAULT_TIMEOUT)
         state = {"done": False, "timer": None}
+        started = self.space.clock.now()
+
+        def observe_wait(outcome: str) -> None:
+            if self.obs is None:
+                return
+            self._wait_seconds.observe(self.space.clock.now() - started)
+            self.obs.tracer.event(
+                "server", "reply",
+                type=message.msg_type.name, request=message.request_id,
+                outcome=outcome,
+            )
 
         def on_match(item):
             if state["done"]:
@@ -152,6 +177,7 @@ class SpaceServer:
             state["done"] = True
             if state["timer"] is not None:
                 state["timer"].cancel()
+            observe_wait("match")
             session.send(Message(
                 MessageType.RESULT_ENTRY, message.request_id, {}, item
             ))
@@ -165,6 +191,7 @@ class SpaceServer:
                 return
             state["done"] = True
             waiter.cancel()
+            observe_wait("timeout")
             session.send(Message(MessageType.RESULT_NULL, message.request_id))
 
         state["timer"] = self.timers.call_later(timeout, on_timeout)
@@ -263,6 +290,12 @@ class SpaceServer:
 
     def _error(self, session, message: Message, text: str) -> None:
         self.errors_sent += 1
+        if self.obs is not None:
+            self._ctr_errors.inc()
+            self.obs.tracer.event(
+                "server", "error",
+                type=message.msg_type.name, request=message.request_id,
+            )
         session.send(Message(
             MessageType.ERROR, message.request_id, {"text": text}
         ))

@@ -93,6 +93,7 @@ class TupleSpace:
         max_lease: float = FOREVER,
         default_lease: float = FOREVER,
         name: str = "space",
+        obs=None,
     ):
         self.clock = clock if clock is not None else SystemClock()
         self.name = name
@@ -105,6 +106,28 @@ class TupleSpace:
         #: storage observers (e.g. the persistence journal); each gets
         #: ``item_stored(seq, item, expires_at)`` / ``item_dropped(seq)``.
         self.observers: list = []
+        # -- observability (nullable; stamped with this space's clock)
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(self.clock.now)
+            metrics = obs.metrics
+            self._obs_counters = {
+                op: metrics.counter(f"{name}.{op}")
+                for op in ("writes", "reads", "takes", "misses",
+                           "expirations", "notifications")
+            }
+            self._obs_items = metrics.gauge(f"{name}.items")
+
+    def _obs_op(self, counter: str, event: str, **fields) -> None:
+        """Record one space operation (no-op when uninstrumented)."""
+        if self.obs is None:
+            return
+        self._obs_counters[counter].inc()
+        self.obs.tracer.event("space", event, space=self.name, **fields)
+
+    def _obs_depth(self) -> None:
+        if self.obs is not None:
+            self._obs_items.set(len(self))
 
     # -- write -------------------------------------------------------------
 
@@ -123,9 +146,15 @@ class TupleSpace:
         if txn is not None:
             txn._written.append(record)
         self.stats.writes += 1
+        self._obs_op(
+            "writes", "write", seq=record.seq,
+            lease=record.lease.duration if record.lease.duration != FOREVER else None,
+            txn=txn is not None,
+        )
         if txn is None:
             self._notify_stored(record)
             self._item_became_visible(record)
+        self._obs_depth()
         return record.lease
 
     def _notify_stored(self, record: _Record) -> None:
@@ -142,8 +171,10 @@ class TupleSpace:
         record = self._find(template, txn)
         if record is None:
             self.stats.misses += 1
+            self._obs_op("misses", "miss", op="read")
             return None
         self.stats.reads += 1
+        self._obs_op("reads", "read", seq=record.seq)
         return record.item
 
     def take_if_exists(self, template, txn=None) -> Optional[Any]:
@@ -152,9 +183,12 @@ class TupleSpace:
         record = self._find(template, txn)
         if record is None:
             self.stats.misses += 1
+            self._obs_op("misses", "miss", op="take")
             return None
         self._consume(record, txn)
         self.stats.takes += 1
+        self._obs_op("takes", "take", seq=record.seq)
+        self._obs_depth()
         return record.item
 
     # -- blocking support ---------------------------------------------------------
@@ -180,8 +214,11 @@ class TupleSpace:
             if mode is WaitMode.TAKE:
                 self._consume(record, txn)
                 self.stats.takes += 1
+                self._obs_op("takes", "take", seq=record.seq, waited=False)
+                self._obs_depth()
             else:
                 self.stats.reads += 1
+                self._obs_op("reads", "read", seq=record.seq, waited=False)
             callback(record.item)
             return waiter
         self._waiters.append(waiter)
@@ -209,8 +246,11 @@ class TupleSpace:
         for record in expired:
             self._drop(record)
             self.stats.expirations += 1
+            self._obs_op("expirations", "expire", seq=record.seq)
         self._waiters = [w for w in self._waiters if w.active]
         self._registrations = [r for r in self._registrations if r.active]
+        if expired:
+            self._obs_depth()
         return len(expired)
 
     def __len__(self) -> int:
@@ -257,6 +297,7 @@ class TupleSpace:
         for record in expired:
             self._drop(record)
             self.stats.expirations += 1
+            self._obs_op("expirations", "expire", seq=record.seq)
         return found
 
     def _consume(self, record: _Record, txn) -> None:
@@ -296,10 +337,13 @@ class TupleSpace:
             waiter.active = False
             if waiter.mode is WaitMode.READ:
                 self.stats.reads += 1
+                self._obs_op("reads", "read", seq=record.seq, waited=True)
                 waiter.callback(record.item)
                 continue
             self._consume(record, waiter.txn)
             self.stats.takes += 1
+            self._obs_op("takes", "take", seq=record.seq, waited=True)
+            self._obs_depth()
             waiter.callback(record.item)
             return True
         return False
@@ -310,6 +354,11 @@ class TupleSpace:
             if registration.template.matches(record.item):
                 registration.deliver(record.seq, record.item)
                 self.stats.notifications += 1
+                self._obs_op(
+                    "notifications", "notify",
+                    seq=record.seq,
+                    registration=registration.registration_id,
+                )
 
     # -- transaction resolution (called by Transaction) ---------------------------
 

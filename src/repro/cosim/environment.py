@@ -76,8 +76,14 @@ def build_bus_system(
     phy_timing: Optional[PhyTiming] = None,
     use_dma: bool = False,
     poll_strategy: PollStrategy = PollStrategy.ROUND_ROBIN,
+    obs=None,
 ) -> BusSystem:
-    """Build a bus, its slaves with mailbox transports, and the poller."""
+    """Build a bus, its slaves with mailbox transports, and the poller.
+
+    ``obs`` (a :class:`repro.obs.Observability`) threads through to the
+    packet-level bus, the master and every slave; the bit-level PHY has
+    no packet hooks, so only master/slave instrumentation applies there.
+    """
     if not slave_ids:
         raise ValueError("need at least one slave id")
     timing = timing_for(wires, bit_rate=bit_rate, mode=mode)
@@ -92,7 +98,7 @@ def build_bus_system(
         bus = BitLevelTpwireBus(sim, kernel, phy)
     else:
         from repro.tpwire.bus import TpwireBus
-        bus = TpwireBus(sim, timing, error_model)
+        bus = TpwireBus(sim, timing, error_model, obs=obs)
 
     fabric = TransportFabric()
     system = BusSystem(
@@ -104,7 +110,7 @@ def build_bus_system(
         kernel=kernel,
     )
     for node_id in slave_ids:
-        slave = TpwireSlave(sim, node_id, timing)
+        slave = TpwireSlave(sim, node_id, timing, obs=obs)
         mailbox = MailboxDevice()
         slave.attach_device(mailbox)
         bus.attach_slave(slave)
@@ -116,7 +122,7 @@ def build_bus_system(
         system.endpoints[node_id] = endpoint
     if bit_level:
         bus.finalize()
-    master = TpwireMaster(sim, bus, max_retries=max_retries)
+    master = TpwireMaster(sim, bus, max_retries=max_retries, obs=obs)
     system.master = master
     system.poller = MasterPoller(
         sim, master, fabric, list(slave_ids),

@@ -62,13 +62,16 @@ class ValidationScenario:
         packet_size: int = 1,
         cbr_rate: float = 8.0,
         seed: int = 1,
+        obs=None,
     ):
-        self.sim = Simulator(seed=seed)
+        self.obs = obs
+        self.sim = Simulator(seed=seed, obs=obs)
         self.system: BusSystem = build_bus_system(
             self.sim,
             [self.CBR_NODE, self.RECEIVER_NODE],
             bit_rate=bit_rate,
             bit_level=bit_level,
+            obs=obs,
         )
         self.agent = TpwireAgent(
             self.sim, self.system.endpoint(self.CBR_NODE), name="cbr-agent"
@@ -104,13 +107,26 @@ class ValidationScenario:
             if self.sink.last_rx_time is not None
             else self.sim.now - start
         )
-        return ValidationResult(
+        result = ValidationResult(
             elapsed_seconds=elapsed,
             bytes_delivered=self.sink.received_bytes,
             packets_delivered=self.sink.received_packets,
             tx_frames=self.system.bus.tx_frames,
             rx_frames=self.system.bus.rx_frames,
         )
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.counter("scenario.packets_delivered").inc(
+                result.packets_delivered
+            )
+            metrics.counter("scenario.bytes_delivered").inc(
+                result.bytes_delivered
+            )
+            self.obs.tracer.event(
+                "scenario", "done",
+                packets=result.packets_delivered, frames=result.total_frames,
+            )
+        return result
 
 
 # -- Figure 7: case study ---------------------------------------------------------
@@ -236,10 +252,11 @@ class CaseStudyScenario:
     SERVER_NODE = 3
     RECEIVER_NODE = 4
 
-    def __init__(self, config: Optional[CaseStudyConfig] = None):
+    def __init__(self, config: Optional[CaseStudyConfig] = None, obs=None):
         self.config = config if config is not None else CaseStudyConfig()
         cfg = self.config
-        self.sim = Simulator(seed=cfg.seed)
+        self.obs = obs
+        self.sim = Simulator(seed=cfg.seed, obs=obs)
         error_model = None
         if cfg.rx_error_probability > 0:
             from repro.tpwire.bus import BitErrorModel
@@ -257,13 +274,16 @@ class CaseStudyScenario:
             poll_strategy=cfg.poll_strategy,
             error_model=error_model,
             bit_level=cfg.bit_level,
+            obs=obs,
         )
         self.codec = make_case_study_codec()
 
         # Server side (SC2): tuplespace on simulated time + bridge + host.
-        self.space = TupleSpace(clock=SimClock(self.sim), name="javaspace")
+        self.space = TupleSpace(
+            clock=SimClock(self.sim), name="javaspace", obs=obs
+        )
         self.server = SpaceServer(
-            self.space, self.codec, timers=SimTimers(self.sim)
+            self.space, self.codec, timers=SimTimers(self.sim), obs=obs
         )
         self.server_bridge = ServerBridge(
             self.sim, self.system.endpoint(self.SERVER_NODE)
@@ -305,15 +325,22 @@ class CaseStudyScenario:
 
     def _client_program(self):
         cfg = self.config
+        obs = self.obs
         start = self.sim.now
         entry = default_entry()
         # The entry's lifetime counts from its creation on the board
         # (created_at): the take succeeds "only if the entry lifetime is
         # not out-of-date" relative to that moment.
+        write_span = obs.tracer.begin("client", "write") if obs is not None else None
         yield from self.client.op_write(
             entry, lease=cfg.lease_seconds, created_at=start
         )
         write_ack_at = self.sim.now
+        if obs is not None:
+            write_span.end()
+            obs.metrics.histogram("client.write_seconds").observe(
+                write_ack_at - start
+            )
         if cfg.think_time > 0:
             yield self.sim.timeout(cfg.think_time)
         # The client addresses the block it wrote: the template pins the
@@ -324,8 +351,15 @@ class CaseStudyScenario:
             firmware=entry.firmware,
             tool_slot=entry.tool_slot,
         )
+        take_span = obs.tracer.begin("client", "take") if obs is not None else None
+        take_started = self.sim.now
         taken = yield from self.client.op_take(template, timeout=cfg.take_timeout)
         elapsed = self.sim.now - start
+        if obs is not None:
+            take_span.end(completed=taken is not None)
+            obs.metrics.histogram("client.take_seconds").observe(
+                self.sim.now - take_started
+            )
         # The bit-level PHY has no line-utilization monitor.
         utilization_monitor = getattr(self.system.bus, "utilization", None)
         self._result = CaseStudyResult(

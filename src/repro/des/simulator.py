@@ -32,9 +32,20 @@ class Simulator:
     trace:
         Optional :class:`TraceRecorder`; a disabled recorder is created
         when omitted so models can trace unconditionally.
+    obs:
+        Optional :class:`repro.obs.Observability`; when given, its clock
+        binds to this simulator's virtual time and instrumented models
+        (bus, master, slaves, tuplespace) record into it.  ``None`` (the
+        default) keeps the uninstrumented fast path.
     """
 
-    def __init__(self, scheduler=None, seed: int = 0, trace: Optional[TraceRecorder] = None):
+    def __init__(
+        self,
+        scheduler=None,
+        seed: int = 0,
+        trace: Optional[TraceRecorder] = None,
+        obs=None,
+    ):
         self._queue = scheduler if scheduler is not None else HeapScheduler()
         self._now = 0.0
         self._seq = 0
@@ -42,6 +53,9 @@ class Simulator:
         self._stopped = False
         self.streams = StreamRegistry(seed)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(lambda: self._now)
         self._processes: list = []
 
     # -- clock -----------------------------------------------------------

@@ -1,0 +1,21 @@
+"""Observability error hierarchy."""
+
+
+class ObsError(Exception):
+    """Base class for all observability-layer errors."""
+
+
+class MetricError(ObsError):
+    """Metric registration/usage error (duplicate name, kind mismatch)."""
+
+
+class ExportError(ObsError):
+    """An exporter could not serialise or write its artefact."""
+
+
+class SchemaError(ExportError):
+    """A benchmark JSON payload violates the ``repro.obs/bench-v1`` schema."""
+
+
+class VcdError(ObsError):
+    """Invalid VCD signal declaration or value change."""

@@ -1,0 +1,141 @@
+"""Benchmark JSON artefacts: ``benchmarks/results/BENCH_<name>.json``.
+
+Schema ``repro.obs/bench-v1``::
+
+    {
+      "schema":  "repro.obs/bench-v1",
+      "name":    "<bench name>",
+      "rows":    [ {column: scalar, ...}, ... ],   # the reproduced table
+      "derived": { key: scalar, ... },             # scaling factors etc.
+      "metrics": { ... }                           # MetricRegistry.summary()
+    }
+
+Every value is a JSON scalar (str/int/float/bool/null); non-finite
+floats are normalised to ``null`` so the document survives a strict
+``loads(dumps(x)) == x`` round trip — the regression guard the benchmark
+``conftest`` applies after every write.  Serialisation uses sorted keys
+and a fixed indent, so two runs with identical numbers produce
+byte-identical artefacts and the perf trajectory is diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Optional, Union
+
+from repro.obs.errors import SchemaError
+from repro.obs.metrics import MetricRegistry
+
+#: Schema identifier carried by every benchmark JSON artefact.
+BENCH_SCHEMA = "repro.obs/bench-v1"
+
+#: Keys a payload must carry, in any order.
+_REQUIRED_KEYS = frozenset({"schema", "name", "rows", "derived", "metrics"})
+
+
+def _sanitise(value: Any, path: str) -> Any:
+    """Copy ``value`` into JSON-safe types (or raise :class:`SchemaError`)."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SchemaError(f"non-string key {key!r} at {path}")
+            out[key] = _sanitise(item, f"{path}.{key}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_sanitise(item, f"{path}[{i}]") for i, item in enumerate(value)]
+    raise SchemaError(
+        f"value of type {type(value).__name__} at {path} is not JSON-safe"
+    )
+
+
+def bench_payload(
+    name: str,
+    rows: Optional[list] = None,
+    derived: Optional[dict] = None,
+    metrics: Optional[Union[dict, MetricRegistry]] = None,
+) -> dict:
+    """Build a schema-conformant payload from a bench's reproduced data."""
+    if not name or not isinstance(name, str):
+        raise SchemaError(f"bench name must be a non-empty string, got {name!r}")
+    if isinstance(metrics, MetricRegistry):
+        metrics = metrics.summary()
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "rows": _sanitise(list(rows) if rows is not None else [], "rows"),
+        "derived": _sanitise(dict(derived) if derived is not None else {}, "derived"),
+        "metrics": _sanitise(dict(metrics) if metrics is not None else {}, "metrics"),
+    }
+    validate_bench_payload(payload)
+    return payload
+
+
+def validate_bench_payload(payload: Any) -> None:
+    """Raise :class:`SchemaError` unless ``payload`` is bench-v1 shaped."""
+    if not isinstance(payload, dict):
+        raise SchemaError(f"payload must be a dict, got {type(payload).__name__}")
+    missing = _REQUIRED_KEYS - payload.keys()
+    if missing:
+        raise SchemaError(f"payload misses keys {sorted(missing)}")
+    extra = payload.keys() - _REQUIRED_KEYS
+    if extra:
+        raise SchemaError(f"payload has unknown keys {sorted(extra)}")
+    if payload["schema"] != BENCH_SCHEMA:
+        raise SchemaError(
+            f"schema is {payload['schema']!r}, expected {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(payload["name"], str) or not payload["name"]:
+        raise SchemaError("name must be a non-empty string")
+    if not isinstance(payload["rows"], list):
+        raise SchemaError("rows must be a list")
+    for index, row in enumerate(payload["rows"]):
+        if not isinstance(row, dict):
+            raise SchemaError(f"rows[{index}] must be an object")
+    if not isinstance(payload["derived"], dict):
+        raise SchemaError("derived must be an object")
+    if not isinstance(payload["metrics"], dict):
+        raise SchemaError("metrics must be an object")
+    # The sanitiser doubles as the leaf-type validator.
+    _sanitise(payload, "payload")
+
+
+def dump_bench_json(payload: dict) -> str:
+    """Deterministic serialisation (sorted keys, fixed indent)."""
+    validate_bench_payload(payload)
+    return json.dumps(payload, sort_keys=True, indent=2, allow_nan=False) + "\n"
+
+
+def bench_json_path(directory, name: str) -> pathlib.Path:
+    return pathlib.Path(directory) / f"BENCH_{name}.json"
+
+
+def write_bench_json(
+    directory,
+    name: str,
+    rows: Optional[list] = None,
+    derived: Optional[dict] = None,
+    metrics: Optional[Union[dict, MetricRegistry]] = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+    payload = bench_payload(name, rows=rows, derived=derived, metrics=metrics)
+    path = bench_json_path(directory, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dump_bench_json(payload))
+    return path
+
+
+def load_bench_json(path) -> dict:
+    """Load and validate an artefact; raises :class:`SchemaError` if bad."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path} is not valid JSON: {exc}") from exc
+    validate_bench_payload(payload)
+    return payload

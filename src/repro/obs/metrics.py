@@ -1,0 +1,205 @@
+"""The metric registry: named counters, gauges, histograms and rates.
+
+The registry *federates* the existing :mod:`repro.des.monitor` classes
+rather than reimplementing statistics:
+
+* a **counter** is a plain monotonic integer (frames, retries, CRC
+  errors);
+* a **gauge** wraps :class:`~repro.des.monitor.TimeWeightedMonitor`
+  (queue depth, bus busy flag) — its summary carries the time average,
+  which for a 0/1 signal *is* the utilisation of Table 3;
+* a **histogram** wraps :class:`~repro.des.monitor.TallyMonitor`
+  (per-op latencies) and reports count/mean/min/max plus the p50/p90/p99
+  percentiles;
+* a **rate** wraps :class:`~repro.des.monitor.RateMonitor` (frames/s,
+  bytes/s — the Table 3 throughput columns).
+
+Externally-owned monitors (e.g. ``TpwireBus.utilization``) federate in
+via :meth:`MetricRegistry.attach`, so instrumented components keep their
+existing statistics objects and the registry's :meth:`summary` still
+sees them.
+
+Naming convention (documented in ``docs/observability.md``):
+``<component>.<metric>`` in lowercase snake case, components dotted from
+coarse to fine — ``tpwire.tx_frames``, ``master.transaction_seconds``,
+``space.items``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Union
+
+from repro.des.monitor import RateMonitor, TallyMonitor, TimeWeightedMonitor
+from repro.obs.errors import MetricError
+
+#: Percentiles reported for every histogram.
+HISTOGRAM_PERCENTILES = (50, 90, 99)
+
+
+class _ClockShim:
+    """Adapts a ``clock()`` callable to the ``sim.now`` protocol the
+    :mod:`repro.des.monitor` classes expect."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+def _finite_or_none(value: float):
+    """JSON-safe scalar: non-finite floats become ``None``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+Monitor = Union[TallyMonitor, TimeWeightedMonitor, RateMonitor]
+
+
+class MetricRegistry:
+    """Named metrics over one injected simulation clock."""
+
+    def __init__(self, clock: Callable[[], float]):
+        self._shim = _ClockShim(clock)
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, TimeWeightedMonitor] = {}
+        self._histograms: dict[str, TallyMonitor] = {}
+        self._rates: dict[str, RateMonitor] = {}
+
+    # -- creation (idempotent per name/kind) -------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, lambda: Counter(name))
+
+    def gauge(self, name: str, initial: float = 0.0) -> TimeWeightedMonitor:
+        return self._get(
+            self._gauges,
+            name,
+            lambda: TimeWeightedMonitor(self._shim, initial=initial, name=name),
+        )
+
+    def histogram(self, name: str) -> TallyMonitor:
+        return self._get(self._histograms, name, lambda: TallyMonitor(name=name))
+
+    def rate(self, name: str) -> RateMonitor:
+        return self._get(self._rates, name, lambda: RateMonitor(self._shim, name=name))
+
+    def _get(self, table: dict, name: str, factory):
+        self._check_name(name, skip=table)
+        if name not in table:
+            table[name] = factory()
+        return table[name]
+
+    def attach(self, name: str, monitor: Monitor) -> Monitor:
+        """Federate an externally-owned monitor under ``name``."""
+        self._check_name(name)
+        if isinstance(monitor, TimeWeightedMonitor):
+            self._gauges[name] = monitor
+        elif isinstance(monitor, TallyMonitor):
+            self._histograms[name] = monitor
+        elif isinstance(monitor, RateMonitor):
+            self._rates[name] = monitor
+        else:
+            raise MetricError(
+                f"cannot attach {type(monitor).__name__} as metric {name!r}"
+            )
+        return monitor
+
+    def _check_name(self, name: str, skip: Optional[dict] = None) -> None:
+        if not name:
+            raise MetricError("metric name must be non-empty")
+        for table in (self._counters, self._gauges, self._histograms, self._rates):
+            if table is skip:
+                continue
+            if name in table:
+                raise MetricError(
+                    f"metric name {name!r} already registered as another kind"
+                )
+
+    # -- summary -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """All metrics as one nested, JSON-safe, deterministic dict."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauge_summary(self._gauges[name])
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histogram_summary(self._histograms[name])
+                for name in sorted(self._histograms)
+            },
+            "rates": {
+                name: self._rate_summary(self._rates[name])
+                for name in sorted(self._rates)
+            },
+        }
+
+    @staticmethod
+    def _gauge_summary(gauge: TimeWeightedMonitor) -> dict:
+        return {
+            "value": _finite_or_none(gauge.value),
+            "time_average": _finite_or_none(gauge.time_average()),
+            "integral": _finite_or_none(gauge.integral()),
+        }
+
+    @staticmethod
+    def _histogram_summary(hist: TallyMonitor) -> dict:
+        out = {
+            "count": hist.count,
+            "mean": _finite_or_none(hist.mean),
+            "stddev": _finite_or_none(hist.stddev),
+            "min": _finite_or_none(
+                hist.minimum if hist.minimum is not None else math.nan
+            ),
+            "max": _finite_or_none(
+                hist.maximum if hist.maximum is not None else math.nan
+            ),
+        }
+        for q in HISTOGRAM_PERCENTILES:
+            out[f"p{q}"] = _finite_or_none(hist.percentile(q))
+        return out
+
+    @staticmethod
+    def _rate_summary(rate: RateMonitor) -> dict:
+        return {
+            "count": rate.count,
+            "total_amount": _finite_or_none(rate.total_amount),
+            "elapsed": _finite_or_none(rate.elapsed),
+            "event_rate": _finite_or_none(rate.event_rate),
+            "amount_rate": _finite_or_none(rate.amount_rate),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)}, "
+            f"rates={len(self._rates)})"
+        )

@@ -1,0 +1,81 @@
+"""Trace record types and their deterministic JSON rendering.
+
+Every record is stamped with *simulation* time (the tracer's injected
+clock) — never the wall clock — so a trace is a pure function of the
+scenario's inputs and can be regressed byte-for-byte (the golden-trace
+tests under ``tests/golden/``).
+
+Records serialise to one JSON object per line (JSONL).  Determinism
+rules:
+
+* keys are emitted sorted (``sort_keys=True``);
+* floats render via ``repr`` (exact, platform-stable for IEEE doubles);
+* non-finite floats are rejected at record time — a NaN timestamp or
+  field would silently break golden comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.errors import ExportError
+
+
+def _check_finite(name: str, value: Any) -> None:
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ExportError(f"trace field {name!r} is non-finite ({value})")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instantaneous traced occurrence.
+
+    ``cat`` groups related events (``tpwire``, ``space``, ``server``,
+    ``slave``); ``name`` identifies the event within its category
+    (``tx``, ``rx``, ``retry``, ``write`` ...).  ``seq`` is a
+    tracer-assigned monotonic sequence number that keeps ordering stable
+    between events sharing a timestamp.
+    """
+
+    time: float
+    seq: int
+    cat: str
+    name: str
+    fields: dict = field(default_factory=dict)
+    #: Span duration; ``None`` marks a point event.
+    duration: Optional[float] = None
+
+    def __post_init__(self):
+        _check_finite("time", self.time)
+        if self.duration is not None:
+            _check_finite("duration", self.duration)
+        for key, value in self.fields.items():
+            _check_finite(key, value)
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {
+            "t": self.time,
+            "seq": self.seq,
+            "cat": self.cat,
+            "name": self.name,
+        }
+        if self.duration is not None:
+            out["dur"] = self.duration
+        if self.fields:
+            out["fields"] = dict(sorted(self.fields.items()))
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"),
+            allow_nan=False,
+        )
+
+
+def dump_jsonl(events) -> str:
+    """Render an iterable of :class:`TraceEvent` as a JSONL document."""
+    lines = [event.to_json() for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")

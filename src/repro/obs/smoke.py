@@ -1,0 +1,70 @@
+"""Benchmark smoke check: ``python -m repro.obs.smoke [outdir]``.
+
+Runs one fast, fully-instrumented scenario (the Figure 6 validation
+workload on the packet-level bus), writes ``BENCH_obs_smoke.json``,
+re-loads it and validates the schema round trip.  CI runs this to
+guarantee the exporter pipeline stays healthy without paying for the
+full benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+from repro.cosim.scenarios import ValidationScenario
+from repro.obs.export import load_bench_json, write_bench_json
+from repro.obs.observability import Observability
+
+#: Packets of the smoke workload (a second or two of simulated bus time).
+SMOKE_PACKETS = 3
+
+
+def run_smoke(outdir: str) -> str:
+    """Run the scenario, write and re-validate the artefact; returns path."""
+    obs = Observability()
+    scenario = ValidationScenario(bit_level=False, obs=obs)
+    result = scenario.run(SMOKE_PACKETS)
+    path = write_bench_json(
+        outdir,
+        "obs_smoke",
+        rows=[
+            {
+                "packets": result.packets_delivered,
+                "bytes": result.bytes_delivered,
+                "frames": result.total_frames,
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+        ],
+        derived={"trace_events": len(obs.tracer)},
+        metrics=obs.metrics,
+    )
+    load_bench_json(path)  # round-trip/schema guard
+    return str(path)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.smoke", description=__doc__
+    )
+    parser.add_argument(
+        "outdir",
+        nargs="?",
+        default=None,
+        help="directory for BENCH_obs_smoke.json (default: a temp dir)",
+    )
+    args = parser.parse_args(argv)
+    outdir = args.outdir
+    if outdir is None:
+        outdir = tempfile.mkdtemp(prefix="repro-obs-smoke-")
+    path = run_smoke(outdir)
+    payload = load_bench_json(path)
+    print(f"obs smoke ok: {path}")
+    print(json.dumps(payload["rows"][0], sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,7 @@ class TpwireBus:
         timing: Optional[BusTiming] = None,
         error_model: Optional[BitErrorModel] = None,
         name: str = "tpwire",
+        obs=None,
     ):
         self.sim = sim
         self.timing = timing if timing is not None else BusTiming()
@@ -106,6 +107,18 @@ class TpwireBus:
         self.cycles = 0
         self.utilization = TimeWeightedMonitor(sim, name=f"{name}.util")
         self.frame_rate = RateMonitor(sim, name=f"{name}.frames")
+        # -- observability (nullable; the fast path skips all of it)
+        self.obs = obs
+        if obs is not None:
+            metrics = obs.metrics
+            self._ctr_tx = metrics.counter(f"{name}.tx_frames")
+            self._ctr_rx = metrics.counter(f"{name}.rx_frames")
+            self._ctr_timeouts = metrics.counter(f"{name}.timeouts")
+            self._ctr_crc = metrics.counter(f"{name}.crc_errors")
+            self._queue_depth = metrics.gauge(f"{name}.queue_depth")
+            metrics.attach(f"{name}.utilization", self.utilization)
+            metrics.attach(f"{name}.frame_rate", self.frame_rate)
+            obs.vcd.signal(f"{name}.busy", scope="tpwire")
 
     # -- construction ------------------------------------------------------
 
@@ -144,6 +157,8 @@ class TpwireBus:
         done = Waitable(self.sim)
         if self._busy:
             self._pending.append((frame, expect_reply, done))
+            if self.obs is not None:
+                self._queue_depth.set(len(self._pending))
         else:
             self._start_cycle(frame, expect_reply, done)
         return done
@@ -161,6 +176,13 @@ class TpwireBus:
         corrupted = (
             self.error_model.corrupt_tx() if self.error_model is not None else False
         )
+        if self.obs is not None:
+            self._ctr_tx.inc()
+            self.obs.vcd.change(f"{self.name}.busy", 1, self.sim.now)
+            self.obs.tracer.event(
+                "tpwire", "tx", cmd=frame.cmd.name, data=frame.data,
+                corrupted=corrupted,
+            )
         target = self._frame_target(frame)
         responder = None
         if not corrupted:
@@ -182,6 +204,8 @@ class TpwireBus:
         if responder is None:
             timeout = self.timing.response_timeout(self.chain_length)
             self.timeouts += 1
+            if self.obs is not None:
+                self._ctr_timeouts.inc()
             self.sim.after(
                 timeout, self._finish_cycle, done,
                 CycleResult(CycleStatus.TIMEOUT),
@@ -194,10 +218,14 @@ class TpwireBus:
         )
         if rx_corrupted:
             self.crc_errors += 1
+            if self.obs is not None:
+                self._ctr_crc.inc()
             result = CycleResult(CycleStatus.CRC_ERROR)
         else:
             self.rx_frames += 1
             self.frame_rate.tick()
+            if self.obs is not None:
+                self._ctr_rx.inc()
             result = CycleResult(CycleStatus.OK, rx_frame)
         self.sim.after(duration, self._finish_cycle, done, result)
 
@@ -206,13 +234,19 @@ class TpwireBus:
             self.sim.now, "r", self.name, "master", "tpwire-rx",
             2 if result.rx is not None else 0, status=result.status.value,
         )
+        if self.obs is not None:
+            self.obs.tracer.event("tpwire", "rx", status=result.status.value)
         done.succeed(result)
         if self._pending:
             frame, expect_reply, next_done = self._pending.pop(0)
+            if self.obs is not None:
+                self._queue_depth.set(len(self._pending))
             self._start_cycle(frame, expect_reply, next_done)
         else:
             self._busy = False
             self.utilization.set(0.0)
+            if self.obs is not None:
+                self.obs.vcd.change(f"{self.name}.busy", 0, self.sim.now)
 
     # -- helpers ---------------------------------------------------------------
 

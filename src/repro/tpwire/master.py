@@ -39,7 +39,14 @@ from repro.tpwire.registers import Flag
 class TpwireMaster:
     """The bus master; owns one :class:`TpwireBus`."""
 
-    def __init__(self, sim, bus: TpwireBus, max_retries: int = 3, name: str = "master"):
+    def __init__(
+        self,
+        sim,
+        bus: TpwireBus,
+        max_retries: int = 3,
+        name: str = "master",
+        obs=None,
+    ):
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.sim = sim
@@ -51,6 +58,12 @@ class TpwireMaster:
         self.transactions = 0
         self.retries = 0
         self.errors_signaled = 0
+        # -- observability (nullable)
+        self.obs = obs
+        if obs is not None:
+            self._ctr_retries = obs.metrics.counter(f"{name}.retries")
+            self._ctr_errors = obs.metrics.counter(f"{name}.errors_signaled")
+            self._txn_seconds = obs.metrics.histogram(f"{name}.transaction_seconds")
         #: Node id the last SELECT addressed (cache to skip redundant selects).
         self._selected: Optional[tuple[int, AddressSpace]] = None
 
@@ -78,27 +91,39 @@ class TpwireMaster:
 
     def _transact_proc(self, frame: TxFrame, expect_reply: bool) -> Generator:
         self.transactions += 1
+        started = self.sim.now
         attempts = self.max_retries + 1
         last_status = None
         for attempt in range(attempts):
             result: CycleResult = yield self.bus.execute(frame, expect_reply)
             if result.status is CycleStatus.BROADCAST:
+                self._observe_txn(started)
                 return None
             if result.status is CycleStatus.OK:
                 if result.rx.rtype is RxType.ERROR:
                     # The slave rejected the command: retrying the same
                     # frame cannot help.
                     self.errors_signaled += 1
+                    self._observe_error("slave-error")
                     raise SlaveError(
                         f"{self.name}: slave rejected {frame} "
                         f"(status {result.rx.data:#04x})"
                     )
+                self._observe_txn(started)
                 return result.rx
             last_status = result.status
             if attempt < attempts - 1:
                 self.retries += 1
+                if self.obs is not None:
+                    self._ctr_retries.inc()
+                    self.obs.tracer.event(
+                        "master", "retry",
+                        attempt=attempt + 1, status=last_status.value,
+                        cmd=frame.cmd.name,
+                    )
         self.errors_signaled += 1
         self._selected = None  # selection state is now unknown
+        self._observe_error(last_status.value)
         error_class = (
             BusTimeout if last_status is CycleStatus.TIMEOUT else BusError
         )
@@ -106,6 +131,15 @@ class TpwireMaster:
             f"{self.name}: no valid reply to {frame} after {attempts} "
             f"attempts (last: {last_status.value})"
         )
+
+    def _observe_txn(self, started: float) -> None:
+        if self.obs is not None:
+            self._txn_seconds.observe(self.sim.now - started)
+
+    def _observe_error(self, reason: str) -> None:
+        if self.obs is not None:
+            self._ctr_errors.inc()
+            self.obs.tracer.event("master", "error", reason=reason)
 
     # -- compound operations (generators; run under the lock) ----------------
 

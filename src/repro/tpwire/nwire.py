@@ -64,6 +64,7 @@ class ParallelBusGroup:
         max_retries: int = 3,
         error_model: Optional[BitErrorModel] = None,
         name: str = "tpwire-group",
+        obs=None,
         **timing_kwargs,
     ):
         if wires < 1:
@@ -74,11 +75,11 @@ class ParallelBusGroup:
             bit_rate=bit_rate, wires=1, mode=WireMode.SERIAL, **timing_kwargs
         )
         self.buses = [
-            TpwireBus(sim, timing, error_model, name=f"{name}.line{i}")
+            TpwireBus(sim, timing, error_model, name=f"{name}.line{i}", obs=obs)
             for i in range(wires)
         ]
         self.masters = [
-            TpwireMaster(sim, bus, max_retries, name=f"{name}.master{i}")
+            TpwireMaster(sim, bus, max_retries, name=f"{name}.master{i}", obs=obs)
             for i, bus in enumerate(self.buses)
         ]
         self._line_of_node: dict[int, int] = {}

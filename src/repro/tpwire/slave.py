@@ -40,6 +40,7 @@ class TpwireSlave:
         timing: BusTiming,
         memory_size: int = 256,
         name: Optional[str] = None,
+        obs=None,
     ):
         if not 0 <= node_id < BROADCAST_NODE_ID:
             raise TpwireError(
@@ -50,6 +51,9 @@ class TpwireSlave:
         self.node_id = node_id
         self.timing = timing
         self.name = name or f"slave{node_id}"
+        self.obs = obs
+        if obs is not None:
+            self._ctr_resets = obs.metrics.counter(f"{self.name}.resets")
         self.registers = SlaveRegisterFile(memory_size)
         #: Address space selected by the last matching SELECT, or ``None``.
         self.selected_space: Optional[AddressSpace] = None
@@ -93,14 +97,23 @@ class TpwireSlave:
         """Apply any reset that should have happened before ``now``."""
         deadline = self._last_valid_tx + self.timing.reset_timeout
         if now > deadline:
-            self._perform_reset(deadline)
+            self._perform_reset(deadline, reason="watchdog")
 
-    def _perform_reset(self, at: float) -> None:
+    def _perform_reset(self, at: float, reason: str = "command") -> None:
         self.registers.reset()
         self.selected_space = None
         self.dma_write_remaining = 0
         self._reset_until = at + self.timing.reset_active
         self.resets += 1
+        if self.obs is not None:
+            self._ctr_resets.inc()
+            # ``at`` is the reset's effective instant: a lazily-serviced
+            # watchdog reset happened at its deadline, not at the frame
+            # arrival that surfaced it.
+            self.obs.tracer.event(
+                "slave", "reset", time=at,
+                node=self.node_id, reason=reason,
+            )
         # The watchdog restarts once reset releases.
         self._last_valid_tx = self._reset_until
         # Peripherals re-assert their state (e.g. the mailbox re-raises

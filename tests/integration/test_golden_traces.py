@@ -1,0 +1,92 @@
+"""Golden-trace regression tests.
+
+Each test re-runs a reference scenario with a tracer attached and
+compares the JSONL trace **byte-for-byte** against a recorded golden
+under ``tests/golden/``.  Because every record is stamped with the
+simulation clock and serialised with sorted keys, the trace is a pure
+function of the scenario — any drift in protocol timing, event ordering
+or serialisation shows up as a diff, independent of ``PYTHONHASHSEED``.
+
+Regenerate (after an *intentional* behaviour change) with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/integration/test_golden_traces.py
+
+and review the golden diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.cosim.scenarios import CaseStudyConfig, CaseStudyScenario, ValidationScenario
+from repro.obs import Observability
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+#: Middleware-level categories for the Table 4 trace: the full bus trace
+#: of the 151 s case study is tens of thousands of lines; the filtered
+#: trace pins down the tuplespace protocol without the frame noise.
+TABLE4_CATEGORIES = frozenset({"space", "server", "client", "scenario"})
+
+
+def _table3_trace() -> str:
+    """Full trace (bus + middleware) of a one-packet validation run."""
+    obs = Observability()
+    ValidationScenario(bit_level=False, obs=obs).run(1)
+    return obs.tracer.to_jsonl()
+
+
+def _table4_trace() -> str:
+    """Category-filtered middleware trace of the Table 4 baseline cell."""
+    obs = Observability(trace_categories=TABLE4_CATEGORIES)
+    CaseStudyScenario(CaseStudyConfig(), obs=obs).run()
+    return obs.tracer.to_jsonl()
+
+
+RECORDERS = {
+    "table3_validation.jsonl": _table3_trace,
+    "table4_baseline.jsonl": _table4_trace,
+}
+
+
+def _check_golden(name: str) -> None:
+    recorded = RECORDERS[name]()
+    path = GOLDEN_DIR / name
+    if os.environ.get("REGEN_GOLDEN"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(recorded)
+    if not path.exists():
+        pytest.fail(
+            f"golden {path} missing; record it with REGEN_GOLDEN=1"
+        )
+    golden = path.read_text()
+    assert recorded == golden, (
+        f"trace diverged from {path} "
+        f"({len(recorded.splitlines())} vs {len(golden.splitlines())} lines); "
+        "if the change is intentional, regenerate with REGEN_GOLDEN=1"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(RECORDERS))
+def test_trace_matches_golden(name):
+    _check_golden(name)
+
+
+def test_table3_trace_is_stable_within_process():
+    """Two in-process runs are byte-identical (no leaked global state)."""
+    assert _table3_trace() == _table3_trace()
+
+
+def test_goldens_are_valid_jsonl():
+    import json
+
+    for name in RECORDERS:
+        path = GOLDEN_DIR / name
+        if not path.exists():
+            continue
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert {"t", "seq", "cat", "name"} <= record.keys()

@@ -1,0 +1,133 @@
+"""Tracer and trace-record unit tests."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import ExportError, TraceEvent, Tracer, dump_jsonl
+
+
+class ManualClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+# -- TraceEvent --------------------------------------------------------------
+
+
+def test_event_to_dict_minimal():
+    event = TraceEvent(1.5, 7, "tpwire", "tx")
+    assert event.to_dict() == {"t": 1.5, "seq": 7, "cat": "tpwire", "name": "tx"}
+
+
+def test_event_to_dict_with_fields_and_duration():
+    event = TraceEvent(0.0, 1, "client", "write", {"b": 2, "a": 1}, duration=0.25)
+    out = event.to_dict()
+    assert out["dur"] == 0.25
+    assert list(out["fields"]) == ["a", "b"]  # sorted
+
+
+def test_event_json_is_deterministic():
+    event = TraceEvent(2.0, 3, "space", "take", {"z": True, "a": "x"})
+    line = event.to_json()
+    assert json.loads(line) == event.to_dict()
+    # keys sorted, compact separators
+    assert line.index('"cat"') < line.index('"name"') < line.index('"seq"')
+    assert ", " not in line
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_event_rejects_non_finite_time_duration_and_fields(bad):
+    with pytest.raises(ExportError):
+        TraceEvent(bad, 1, "c", "n")
+    with pytest.raises(ExportError):
+        TraceEvent(0.0, 1, "c", "n", duration=bad)
+    with pytest.raises(ExportError):
+        TraceEvent(0.0, 1, "c", "n", {"x": bad})
+
+
+def test_dump_jsonl_trailing_newline_and_empty():
+    assert dump_jsonl([]) == ""
+    doc = dump_jsonl([TraceEvent(0.0, 1, "c", "n")])
+    assert doc.endswith("\n") and doc.count("\n") == 1
+
+
+# -- Tracer ------------------------------------------------------------------
+
+
+def test_event_stamps_clock_and_sequences():
+    clock = ManualClock()
+    tracer = Tracer(clock)
+    first = tracer.event("tpwire", "tx", cmd="SELECT")
+    clock.now = 0.5
+    second = tracer.event("tpwire", "rx")
+    assert (first.time, first.seq) == (0.0, 1)
+    assert (second.time, second.seq) == (0.5, 2)
+    assert tracer.events == [first, second]
+
+
+def test_event_explicit_time_overrides_clock():
+    clock = ManualClock(10.0)
+    tracer = Tracer(clock)
+    event = tracer.event("slave", "reset", time=7.25, reason="watchdog")
+    assert event.time == 7.25
+    assert event.fields == {"reason": "watchdog"}
+
+
+def test_category_filter_drops_and_keeps():
+    tracer = Tracer(ManualClock(), categories={"space"})
+    assert tracer.event("tpwire", "tx") is None
+    kept = tracer.event("space", "write")
+    assert kept is not None
+    assert len(tracer) == 1
+    # sequence numbers only advance for recorded events
+    assert kept.seq == 1
+    assert tracer.enabled_for("space") and not tracer.enabled_for("tpwire")
+
+
+def test_span_records_duration_and_merged_fields():
+    clock = ManualClock(1.0)
+    tracer = Tracer(clock)
+    span = tracer.begin("client", "take", template="t")
+    clock.now = 3.5
+    event = span.end(completed=True)
+    assert event.time == 1.0 and event.duration == 2.5
+    assert event.fields == {"template": "t", "completed": True}
+    # double-end is a no-op
+    assert span.end() is None
+    assert len(tracer) == 1
+
+
+def test_span_in_filtered_category_is_dropped_silently():
+    tracer = Tracer(ManualClock(), categories={"space"})
+    span = tracer.begin("client", "write")
+    assert span.end() is None
+    assert len(tracer) == 0
+
+
+def test_sink_receives_lines_even_without_keep():
+    lines = []
+    tracer = Tracer(ManualClock(), sink=lines.append, keep=False)
+    tracer.event("c", "one")
+    tracer.event("c", "two")
+    assert len(tracer) == 0  # not retained
+    assert [json.loads(line)["name"] for line in lines] == ["one", "two"]
+    assert all(line.endswith("\n") for line in lines)
+
+
+def test_accessors_and_clear():
+    tracer = Tracer(ManualClock())
+    tracer.event("a", "x")
+    tracer.event("a", "y")
+    tracer.event("b", "x")
+    assert [e.name for e in tracer.of_category("a")] == ["x", "y"]
+    assert len(tracer.named("a", "x")) == 1
+    assert tracer.to_jsonl().count("\n") == 3
+    tracer.clear()
+    assert len(tracer) == 0

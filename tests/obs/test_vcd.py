@@ -1,0 +1,86 @@
+"""VcdRecorder unit tests: declarations, dedupe, deterministic render."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import VcdError, VcdRecorder
+from repro.obs.vcd import _id_code
+
+
+def test_id_codes_are_printable_and_unique():
+    codes = [_id_code(i) for i in range(200)]
+    assert len(set(codes)) == 200
+    assert codes[0] == "!"
+    assert all(33 <= ord(ch) <= 126 for code in codes for ch in code)
+
+
+def test_signal_declaration_idempotent_and_conflicting():
+    vcd = VcdRecorder()
+    code = vcd.signal("bus.busy")
+    assert vcd.signal("bus.busy") == code
+    with pytest.raises(VcdError):
+        vcd.signal("bus.busy", width=4)
+    with pytest.raises(VcdError):
+        vcd.signal("bad", width=0)
+
+
+def test_change_requires_declaration_and_range():
+    vcd = VcdRecorder()
+    with pytest.raises(VcdError):
+        vcd.change("ghost", 1, 0.0)
+    vcd.signal("flag")
+    with pytest.raises(VcdError):
+        vcd.change("flag", 2, 0.0)  # 1-bit signal
+    with pytest.raises(VcdError):
+        vcd.change("flag", -1, 0.0)
+
+
+def test_unchanged_values_are_deduped():
+    vcd = VcdRecorder()
+    vcd.signal("flag")
+    vcd.change("flag", 1, 0.0)
+    vcd.change("flag", 1, 1.0)  # no-op
+    vcd.change("flag", 0, 2.0)
+    assert len(vcd) == 2
+
+
+def test_timescale_validation():
+    VcdRecorder(timescale_seconds=1e-9)
+    with pytest.raises(VcdError):
+        VcdRecorder(timescale_seconds=2e-6)
+
+
+def test_render_structure_and_time_quantisation():
+    vcd = VcdRecorder(timescale_seconds=1e-6)
+    vcd.signal("busy", scope="tpwire")
+    vcd.signal("depth", width=8, scope="tpwire")
+    vcd.change("busy", 1, 0.0005)      # 500 ticks
+    vcd.change("depth", 3, 0.0005)
+    vcd.change("busy", 0, 0.001)       # 1000 ticks
+    doc = vcd.render()
+    lines = doc.splitlines()
+    assert lines[0].startswith("$timescale 1 us")
+    assert "$date" not in doc           # determinism: no wall-clock stamp
+    assert "$scope module tpwire $end" in lines
+    assert "$enddefinitions $end" in lines
+    body = lines[lines.index("$enddefinitions $end") + 1:]
+    assert body[0] == "#500"
+    # multi-bit values render in binary with a separating space
+    assert any(line.startswith("b00000011 ") for line in body)
+    assert "#1000" in body
+
+
+def test_render_is_deterministic_and_sorted_by_time():
+    def build():
+        vcd = VcdRecorder()
+        vcd.signal("a")
+        vcd.signal("b")
+        # record out of time order: render must sort
+        vcd.change("b", 1, 2e-6)
+        vcd.change("a", 1, 1e-6)
+        return vcd.render()
+
+    first, second = build(), build()
+    assert first == second
+    assert first.index("#1") < first.index("#2")

@@ -1,0 +1,240 @@
+"""Property-based CRC-4 tests (no hypothesis dependency — seeded random).
+
+The TpWIRE CRC-4 uses the primitive polynomial x^4 + x + 1, whose
+multiplicative period is 15.  Both frame codewords fit inside that
+period (TX: 11 data + 4 CRC = 15 bits; RX: 10 + 4 = 14 bits), so the
+code guarantees detection of *all* single- and double-bit errors within
+the codeword.  These tests verify that guarantee exhaustively, plus the
+algebraic remainder property crc(value || crc(value)) == 0.
+
+Frame-level caveats encoded below:
+
+* the start bit (bit 15) is not CRC-protected — flipping it raises
+  :class:`FrameError` from the start-bit check instead;
+* the RX INT bit (bit 14) is *deliberately* excluded from the CRC
+  (slaves mutate it in flight), so an INT-only flip decodes to a
+  different, valid frame rather than raising.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.tpwire.commands import Command, RxType
+from repro.tpwire.crc import CRC4_POLY, CRC4_WIDTH, crc4, crc4_bits, check_crc4
+from repro.tpwire.errors import CrcMismatch, FrameError
+from repro.tpwire.frames import FRAME_BITS, RxFrame, TxFrame
+
+SEED = 20030303  # DATE 2003 conference date
+
+START_BIT = 1 << 15
+RX_INT_BIT = 1 << 14
+
+
+def all_tx_frames():
+    return [TxFrame(cmd, data) for cmd in Command for data in range(256)]
+
+
+def all_rx_frames():
+    return [
+        RxFrame(rtype, data, int_pending)
+        for rtype in RxType
+        for data in range(256)
+        for int_pending in (False, True)
+    ]
+
+
+# -- algebraic properties of the bare crc4 ----------------------------------
+
+
+def test_poly_is_primitive_with_period_15():
+    """x^k mod poly cycles with period 15 — the basis for the 2-bit
+    detection guarantee over 15-bit codewords."""
+    seen = set()
+    value = 1
+    for _ in range(15):
+        seen.add(value)
+        # multiply by x modulo the polynomial
+        value <<= 1
+        if value & (1 << CRC4_WIDTH):
+            value ^= CRC4_POLY
+    assert len(seen) == 15  # all non-zero residues -> primitive
+    assert value == 1  # period exactly 15
+
+
+def test_remainder_property_appending_crc_gives_zero():
+    """crc(frame || crc(frame)) == 0 for random payloads of many widths."""
+    rng = random.Random(SEED)
+    for _ in range(2000):
+        nbits = rng.randint(1, 24)
+        value = rng.getrandbits(nbits)
+        crc = crc4(value, nbits)
+        assert crc4((value << CRC4_WIDTH) | crc, nbits + CRC4_WIDTH) == 0
+        assert check_crc4(value, nbits, crc)
+
+
+def test_remainder_property_exhaustive_11_bits():
+    """Exhaustive over the TX payload space (CMD+DATA = 11 bits)."""
+    for value in range(1 << 11):
+        crc = crc4(value, 11)
+        assert crc4((value << CRC4_WIDTH) | crc, 11 + CRC4_WIDTH) == 0
+
+
+def test_crc4_linearity():
+    """CRC of an XOR is the XOR of CRCs (same width): the error term
+    separates from the payload, which is why detection depends only on
+    the flipped positions."""
+    rng = random.Random(SEED + 1)
+    for _ in range(500):
+        nbits = rng.randint(4, 20)
+        a = rng.getrandbits(nbits)
+        b = rng.getrandbits(nbits)
+        assert crc4(a ^ b, nbits) == crc4(a, nbits) ^ crc4(b, nbits)
+
+
+def test_single_bit_error_syndromes_nonzero_and_distinct():
+    """Every single-bit error in a 15-bit codeword has a unique non-zero
+    syndrome: all single flips detected, all double flips detected."""
+    # The syndrome of an error at codeword bit i is x^i mod g.  Positions
+    # below CRC4_WIDTH flip the CRC field itself (syndrome = the bit);
+    # above it, crc4(v, n) computes v * x^4 mod g, so v = x^(i-4).
+    syndromes = [
+        crc4(1 << (i - CRC4_WIDTH), 11) if i >= CRC4_WIDTH else (1 << i)
+        for i in range(15)
+    ]
+    assert all(s != 0 for s in syndromes)
+    assert len(set(syndromes)) == 15
+
+
+def test_crc4_bits_matches_integer_form():
+    rng = random.Random(SEED + 2)
+    for _ in range(200):
+        nbits = rng.randint(1, 16)
+        value = rng.getrandbits(nbits)
+        bits = [(value >> i) & 1 for i in range(nbits - 1, -1, -1)]
+        assert crc4_bits(bits) == crc4(value, nbits)
+
+
+def test_crc4_input_validation():
+    with pytest.raises(ValueError):
+        crc4(1, 0)
+    with pytest.raises(ValueError):
+        crc4(-1, 4)
+    with pytest.raises(ValueError):
+        crc4(16, 4)
+    with pytest.raises(ValueError):
+        check_crc4(0, 4, 16)
+    with pytest.raises(ValueError):
+        crc4_bits([0, 2])
+
+
+# -- exhaustive single-bit flips on encoded frames --------------------------
+
+
+def test_tx_all_single_bit_flips_detected():
+    """Any single-bit flip of any encoded TX frame fails to decode."""
+    for frame in all_tx_frames():
+        word = frame.encode()
+        for bit in range(FRAME_BITS):
+            corrupted = word ^ (1 << bit)
+            if corrupted & START_BIT:
+                with pytest.raises(FrameError):
+                    TxFrame.decode(corrupted)
+            else:
+                with pytest.raises(CrcMismatch):
+                    TxFrame.decode(corrupted)
+
+
+def test_rx_all_single_bit_flips_detected_except_int():
+    """Any single-bit flip of any encoded RX frame is either detected or
+    is the (unprotected by design) INT bit, which decodes to the same
+    frame with INT toggled."""
+    for frame in all_rx_frames():
+        word = frame.encode()
+        for bit in range(FRAME_BITS):
+            corrupted = word ^ (1 << bit)
+            if corrupted & START_BIT:
+                with pytest.raises(FrameError):
+                    RxFrame.decode(corrupted)
+            elif (1 << bit) == RX_INT_BIT:
+                twin = RxFrame.decode(corrupted)
+                assert twin.rtype is frame.rtype
+                assert twin.data == frame.data
+                assert twin.int_pending is (not frame.int_pending)
+            else:
+                with pytest.raises(CrcMismatch):
+                    RxFrame.decode(corrupted)
+
+
+# -- exhaustive double-bit flip positions over seeded random frames ---------
+
+
+def _random_tx_frames(rng, count):
+    return [
+        TxFrame(rng.choice(list(Command)), rng.randrange(256))
+        for _ in range(count)
+    ]
+
+
+def _random_rx_frames(rng, count):
+    return [
+        RxFrame(rng.choice(list(RxType)), rng.randrange(256), rng.random() < 0.5)
+        for _ in range(count)
+    ]
+
+
+def test_tx_all_double_bit_flips_detected():
+    """For a seeded sample of TX frames, every one of the C(16,2) = 120
+    double-bit flips is rejected (codeword length 15 <= poly period 15)."""
+    rng = random.Random(SEED + 3)
+    for frame in _random_tx_frames(rng, 64):
+        word = frame.encode()
+        for i, j in itertools.combinations(range(FRAME_BITS), 2):
+            corrupted = word ^ (1 << i) ^ (1 << j)
+            if corrupted & START_BIT:
+                with pytest.raises(FrameError):
+                    TxFrame.decode(corrupted)
+            else:
+                with pytest.raises(CrcMismatch):
+                    TxFrame.decode(corrupted)
+
+
+def test_rx_all_double_bit_flips_detected_modulo_int():
+    """Same sweep for RX frames, accounting for the INT exclusion: a
+    double flip touching INT leaves a single codeword error (detected);
+    flips that *both* hit unprotected bits cannot occur (only INT is
+    unprotected besides the checked start bit)."""
+    rng = random.Random(SEED + 4)
+    for frame in _random_rx_frames(rng, 64):
+        word = frame.encode()
+        for i, j in itertools.combinations(range(FRAME_BITS), 2):
+            corrupted = word ^ (1 << i) ^ (1 << j)
+            if corrupted & START_BIT:
+                with pytest.raises(FrameError):
+                    RxFrame.decode(corrupted)
+            else:
+                # At least one flip lands in the protected codeword
+                # (INT+start is covered by the branch above), so the
+                # CRC must catch it.
+                with pytest.raises(CrcMismatch):
+                    RxFrame.decode(corrupted)
+
+
+def test_random_word_corruption_never_decodes_silently():
+    """Seeded fuzz: XOR random non-zero error patterns into valid frames;
+    decode must never return a frame equal to the original."""
+    rng = random.Random(SEED + 5)
+    for _ in range(2000):
+        frame = _random_tx_frames(rng, 1)[0]
+        error = rng.randrange(1, 1 << FRAME_BITS)
+        corrupted = frame.encode() ^ error
+        try:
+            decoded = TxFrame.decode(corrupted)
+        except (FrameError, CrcMismatch):
+            continue
+        # >= 3-bit errors can alias to *another* valid codeword, but
+        # never back to the original (error != 0).
+        assert decoded != frame

@@ -1,0 +1,174 @@
+"""Scalability-path coverage for :mod:`repro.tpwire.nwire` (Sec. 3.2).
+
+The paper's two n-wire strategies have distinct performance signatures:
+
+* *parallel data* shortens every frame (13 vs 16 bit periods for the
+  2-wire case), speeding up each cycle;
+* *parallel buses* keeps the frame format but multiplies concurrent
+  cycles, scaling aggregate throughput with the number of lines.
+
+These tests pin both signatures quantitatively, plus the observability
+threading through the group.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Simulator
+from repro.obs import Observability
+from repro.tpwire import (
+    BusTiming,
+    ParallelBusGroup,
+    TpwireSlave,
+    WireMode,
+    timing_for,
+)
+from repro.tpwire.errors import TpwireError
+from repro.tpwire.timing import CRC_BITS, LEAD_BITS
+
+
+class TestParallelDataTiming:
+    """WireMode.PARALLEL_DATA: the DATA byte striped over extra lines."""
+
+    @pytest.mark.parametrize(
+        "wires,expected_bits",
+        [
+            (2, 13),   # 1 + ceil(8/1) = 9 data-done, + 4 CRC (the paper's case)
+            (3, 9),    # 1 + ceil(8/2) = 5, + 4
+            (5, 8),    # 1 + ceil(8/4) = 3 < lead 4, so 4 + 4
+            (9, 8),    # data lands inside the command lead: floor 4 + 4
+            (17, 8),   # more wires cannot beat the serial lead + CRC
+        ],
+    )
+    def test_frame_bits_on_wire(self, wires, expected_bits):
+        timing = timing_for(wires)
+        assert timing.mode is WireMode.PARALLEL_DATA
+        assert timing.frame_bits_on_wire == expected_bits
+
+    def test_floor_is_lead_plus_crc(self):
+        assert timing_for(64).frame_bits_on_wire == LEAD_BITS + CRC_BITS
+
+    def test_two_wire_speedup_matches_bit_ratio(self):
+        """Cycle-duration ratio = frame-bit ratio once fixed overheads
+        (gap/turnaround/hops) are zeroed out."""
+        serial = timing_for(1, gap_bits=0, turnaround_bits=0, hop_delay_bits=0)
+        dual = timing_for(2, gap_bits=0, turnaround_bits=0, hop_delay_bits=0)
+        ratio = serial.exchange_duration(0) / dual.exchange_duration(0)
+        assert ratio == pytest.approx(16 / 13)
+
+    def test_kwargs_pass_through(self):
+        timing = timing_for(2, bit_rate=4800.0, gap_bits=7)
+        assert timing.bit_rate == 4800.0
+        assert timing.gap_bits == 7
+
+    def test_mode_wire_count_validation(self):
+        with pytest.raises(ValueError):
+            BusTiming(wires=2, mode=WireMode.SERIAL)
+        with pytest.raises(ValueError):
+            BusTiming(wires=1, mode=WireMode.PARALLEL_DATA)
+
+
+class TestParallelBusThroughput:
+    """WireMode.PARALLEL_BUS via ParallelBusGroup: n concurrent cycles."""
+
+    def _poll_forever(self, sim, master, node_id, completions):
+        def proc():
+            while True:
+                yield master.run_op(master.op_poll(node_id))
+                completions.append(sim.now)
+
+        return sim.spawn(proc())
+
+    @pytest.mark.parametrize("wires", [1, 2, 4])
+    def test_aggregate_cycles_scale_with_lines(self, wires):
+        sim = Simulator()
+        group = ParallelBusGroup(sim, wires, bit_rate=2400)
+        timing = BusTiming(bit_rate=2400)
+        completions: list[float] = []
+        for node_id in range(1, wires + 1):
+            group.attach_slave(TpwireSlave(sim, node_id, timing), line=node_id - 1)
+            self._poll_forever(
+                sim, group.master_for(node_id), node_id, completions
+            )
+        sim.run(until=2.0)
+        # the SELECT is cached after the first poll, so each line
+        # sustains ~ one exchange per poll; aggregate grows linearly
+        per_line = len(completions) / wires
+        solo_rate = 2.0 / timing.exchange_duration(1)
+        assert per_line == pytest.approx(solo_rate, rel=0.05)
+        # frames: one select per line + one frame per completed poll,
+        # plus up to one in-flight cycle per line at the time cut-off
+        assert group.tx_frames == group.rx_frames
+        assert (
+            len(completions) + wires
+            <= group.tx_frames
+            <= len(completions) + 2 * wires
+        )
+
+    def test_detached_line_times_out_independently(self):
+        """A node missing from its line produces timeouts on that line
+        only; the other line keeps its clean statistics."""
+        sim = Simulator()
+        group = ParallelBusGroup(sim, 2, bit_rate=2400, max_retries=0)
+        timing = BusTiming(bit_rate=2400)
+        group.attach_slave(TpwireSlave(sim, 1, timing), line=0)
+        # node 2 is *registered* nowhere: poll it via line 1's master
+        master = group.masters[1]
+        failed = []
+
+        def poll_missing():
+            try:
+                yield from master.op_poll(9)
+            except TpwireError as exc:
+                failed.append(exc)
+
+        sim.spawn(poll_missing())
+        ok = group.master_for(1)
+        ok.run_op(ok.op_poll(1))
+        sim.run()
+        assert failed, "poll of an absent node must fail"
+        assert group.buses[1].timeouts > 0
+        assert group.buses[0].timeouts == 0
+        assert group.timeouts == group.buses[1].timeouts
+
+    def test_line_capacity_balancing_prefers_lowest_index_on_tie(self):
+        sim = Simulator()
+        group = ParallelBusGroup(sim, 3, bit_rate=2400)
+        timing = BusTiming(bit_rate=2400)
+        lines = [
+            group.attach_slave(TpwireSlave(sim, node_id, timing))
+            for node_id in range(1, 7)
+        ]
+        assert lines == [0, 1, 2, 0, 1, 2]
+
+    def test_attach_to_invalid_line_rejected(self):
+        sim = Simulator()
+        group = ParallelBusGroup(sim, 2, bit_rate=2400)
+        timing = BusTiming(bit_rate=2400)
+        with pytest.raises(TpwireError):
+            group.attach_slave(TpwireSlave(sim, 1, timing), line=5)
+        with pytest.raises(TpwireError):
+            ParallelBusGroup(sim, 0)
+
+
+class TestGroupObservability:
+    def test_obs_threads_to_every_line(self):
+        obs = Observability()
+        sim = Simulator(obs=obs)
+        group = ParallelBusGroup(sim, 2, bit_rate=2400, obs=obs)
+        timing = BusTiming(bit_rate=2400)
+        group.attach_slave(TpwireSlave(sim, 1, timing, obs=obs), line=0)
+        group.attach_slave(TpwireSlave(sim, 2, timing, obs=obs), line=1)
+        for node_id in (1, 2):
+            master = group.master_for(node_id)
+            master.run_op(master.op_poll(node_id))
+        sim.run()
+        counters = obs.summary()["counters"]
+        for line in (0, 1):
+            assert counters[f"tpwire-group.line{line}.tx_frames"] == 2
+            assert counters[f"tpwire-group.line{line}.rx_frames"] == 2
+        # per-line traced frames carry distinct sim-time stamps but share
+        # one monotonic sequence
+        seqs = [e.seq for e in obs.tracer.named("tpwire", "tx")]
+        assert seqs == sorted(seqs) and len(seqs) == 4
