@@ -1,0 +1,83 @@
+"""Core-engine throughput: the perf baseline every DES change answers to.
+
+Raw events/second for both pending-event queues (heap vs Brown calendar
+queue) plus end-to-end frames/second of the packet-level TpWIRE model on
+the Figure 6 topology.  The numbers land in
+``benchmarks/results/BENCH_core_engine.json``; CI re-measures a fast
+variant of the same workloads (``python -m benchmarks.engine_smoke``) and
+fails if events/second regresses more than 30 % against that committed
+baseline.  ``docs/performance.md`` explains the fast path these numbers
+track and how to read the artefact.
+"""
+
+import pytest
+
+from benchmarks.engine_workloads import (
+    FULL_EVENTS,
+    FULL_PACKETS,
+    SCHEDULER_FACTORIES,
+    bus_frames_per_second,
+    bus_frames_throughput,
+    scheduler_churn,
+    scheduler_events_per_second,
+)
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULER_FACTORIES))
+def test_scheduler_raw_event_throughput(benchmark, name):
+    factory = SCHEDULER_FACTORIES[name]
+    fired, _ = benchmark.pedantic(
+        lambda: scheduler_churn(factory, FULL_EVENTS), rounds=3, iterations=1
+    )
+    # The 16 seeded handlers may each slip one extra event past the stop
+    # condition before the run drains.
+    assert FULL_EVENTS <= fired <= FULL_EVENTS + 16
+
+
+def test_bus_frame_throughput(benchmark):
+    frames, _ = benchmark.pedantic(
+        lambda: bus_frames_throughput(FULL_PACKETS), rounds=3, iterations=1
+    )
+    assert frames > 0
+
+
+def test_core_engine_baseline_artifact(report, bench_json):
+    """Measure all three throughputs and commit them as the engine
+    baseline artefact (the number the CI smoke gate compares against)."""
+    rows = [
+        {
+            "workload": "scheduler-churn",
+            "scheduler": name,
+            "events": FULL_EVENTS,
+            "events_per_second": round(
+                scheduler_events_per_second(
+                    SCHEDULER_FACTORIES[name], FULL_EVENTS
+                )
+            ),
+        }
+        for name in sorted(SCHEDULER_FACTORIES)
+    ]
+    frames_per_second = round(bus_frames_per_second(FULL_PACKETS))
+    by_name = {row["scheduler"]: row["events_per_second"] for row in rows}
+    derived = {
+        "bus_frames_per_second": frames_per_second,
+        "bus_packets": FULL_PACKETS,
+        "calendar_over_heap": round(
+            by_name["calendar-queue"] / by_name["heap"], 3
+        ),
+    }
+    lines = ["Core-engine throughput (best of 3):"]
+    for row in rows:
+        lines.append(
+            f"  {row['scheduler']:<16} {row['events_per_second']:>9,d} events/s"
+        )
+    lines.append(
+        f"  figure-6 bus      {frames_per_second:>9,d} frames/s "
+        f"({FULL_PACKETS} packets)"
+    )
+    report("core_engine", "\n".join(lines))
+    bench_json("core_engine", rows=rows, derived=derived)
+    # Sanity floor: any engine this slow means the fast path broke
+    # outright (the committed artefact is an order of magnitude higher).
+    assert all(row["events_per_second"] > 10_000 for row in rows)
+    assert frames_per_second > 1_000

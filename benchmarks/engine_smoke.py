@@ -1,0 +1,89 @@
+"""CI smoke gate: fail when engine throughput regresses.
+
+Re-measures the core-engine workloads (fast variants by default) and
+compares events/second per scheduler against the committed
+``benchmarks/results/BENCH_core_engine.json`` baseline.  A measurement
+more than ``--tolerance`` (default 30 %) below the baseline fails the
+run — the knob exists because absolute throughput varies across runner
+hardware, while a >30 % drop on the same workload is a code regression.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.engine_smoke --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from benchmarks.engine_workloads import (
+    FAST_EVENTS,
+    FAST_PACKETS,
+    FULL_EVENTS,
+    FULL_PACKETS,
+    SCHEDULER_FACTORIES,
+    bus_frames_per_second,
+    scheduler_events_per_second,
+)
+from repro.obs import load_bench_json
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parent / "results" / "BENCH_core_engine.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help=f"use the reduced workloads ({FAST_EVENTS:,} events, "
+        f"{FAST_PACKETS} packets) for quick CI runs",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=BASELINE_PATH,
+        help="BENCH_core_engine.json to compare against",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_bench_json(args.baseline)
+    baseline_eps = {
+        row["scheduler"]: row["events_per_second"]
+        for row in baseline["rows"]
+    }
+    n_events = FAST_EVENTS if args.fast else FULL_EVENTS
+    n_packets = FAST_PACKETS if args.fast else FULL_PACKETS
+
+    failed = False
+    for name in sorted(SCHEDULER_FACTORIES):
+        measured = scheduler_events_per_second(
+            SCHEDULER_FACTORIES[name], n_events
+        )
+        reference = baseline_eps[name]
+        floor = reference * (1.0 - args.tolerance)
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        failed = failed or measured < floor
+        print(
+            f"{name:<16} {measured:>12,.0f} events/s "
+            f"(baseline {reference:,.0f}, floor {floor:,.0f}) {verdict}"
+        )
+    # Frames/second is informational: it exercises the whole model stack,
+    # so only the raw event rate gates the run.
+    frames = bus_frames_per_second(n_packets)
+    reference = baseline["derived"]["bus_frames_per_second"]
+    print(f"{'figure-6 bus':<16} {frames:>12,.0f} frames/s (baseline {reference:,.0f})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Core-engine throughput workloads.
+
+Shared by ``bench_core_engine.py`` (the pytest-benchmark suite that emits
+``BENCH_core_engine.json``) and ``engine_smoke.py`` (the CI regression
+gate), so both measure exactly the same thing:
+
+* ``scheduler_churn`` — raw event throughput of one pending-event queue:
+  a small population of self-rescheduling handlers, the workload shape
+  the TpWIRE model produces (shallow queue, short-horizon timers).
+* ``bus_frames_throughput`` — end-to-end frames/second of the packet-level
+  TpWIRE model on the Figure 6 validation topology (master + CBR slave +
+  receiver slave), i.e. the whole hot path: scheduler, events, timing
+  tables, bus state machine, master transaction engine.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cosim.scenarios import ValidationScenario
+from repro.des import CalendarQueueScheduler, HeapScheduler, Simulator
+
+#: Queue implementations the engine bench compares, keyed by bench id.
+SCHEDULER_FACTORIES = {
+    "heap": HeapScheduler,
+    "calendar-queue": CalendarQueueScheduler,
+}
+
+#: Workload sizes: FULL for the committed artefact, FAST for the CI gate.
+FULL_EVENTS = 150_000
+FAST_EVENTS = 40_000
+FULL_PACKETS = 60
+FAST_PACKETS = 30
+
+
+def scheduler_churn(factory, n_events: int) -> tuple[int, float]:
+    """Drain ``n_events`` self-rescheduling timers; returns
+    ``(events_fired, wall_seconds)``."""
+    sim = Simulator(scheduler=factory())
+    rng = sim.stream("bench-core-engine")
+    count = [0]
+
+    def handler():
+        count[0] += 1
+        if count[0] < n_events:
+            sim.after(rng.uniform(0.0, 0.02), handler)
+
+    # Seed with a small population so the queue stays shallow, as it does
+    # in the bus model (one cycle in flight plus timers).
+    for _ in range(16):
+        sim.after(rng.uniform(0.0, 0.02), handler)
+    started = time.perf_counter()
+    sim.run()
+    return count[0], time.perf_counter() - started
+
+
+def scheduler_events_per_second(
+    factory, n_events: int, repeats: int = 3
+) -> float:
+    """Best-of-``repeats`` event throughput of one queue implementation."""
+    best = 0.0
+    for _ in range(repeats):
+        fired, seconds = scheduler_churn(factory, n_events)
+        best = max(best, fired / seconds)
+    return best
+
+
+def bus_frames_throughput(n_packets: int) -> tuple[int, float]:
+    """Run the Figure 6 packet-level scenario; returns
+    ``(frames_exchanged, wall_seconds)``."""
+    scenario = ValidationScenario(bit_level=False)
+    started = time.perf_counter()
+    result = scenario.run(n_packets)
+    seconds = time.perf_counter() - started
+    return result.total_frames, seconds
+
+
+def bus_frames_per_second(n_packets: int, repeats: int = 3) -> float:
+    """Best-of-``repeats`` end-to-end frame throughput."""
+    best = 0.0
+    for _ in range(repeats):
+        frames, seconds = bus_frames_throughput(n_packets)
+        best = max(best, frames / seconds)
+    return best

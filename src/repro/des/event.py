@@ -29,7 +29,7 @@ class Event:
     seq)`` so they can live in an ordered queue.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "state")
+    __slots__ = ("time", "priority", "seq", "sort_key", "fn", "args", "state")
 
     def __init__(
         self,
@@ -42,13 +42,14 @@ class Event:
         self.time = time
         self.priority = priority
         self.seq = seq
+        # Built once: the queues compare events on every push/pop, and a
+        # property that allocates a fresh tuple per comparison dominates
+        # the scheduler hot path.  time/priority/seq never change after
+        # construction (cancellation is a state flip, not a re-key).
+        self.sort_key = (time, priority, seq)
         self.fn = fn
         self.args = args
         self.state = EventState.PENDING
-
-    @property
-    def sort_key(self) -> tuple:
-        return (self.time, self.priority, self.seq)
 
     def cancel(self) -> bool:
         """Cancel the event; returns ``True`` if it was still pending.

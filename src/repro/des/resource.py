@@ -32,7 +32,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self._users: list[Request] = []
-        self._waiting: list[Request] = []
+        self._waiting: deque[Request] = deque()
         self._grant_seq = 0
 
     @property
@@ -55,12 +55,17 @@ class Resource:
 
     def _insert_waiting(self, req: Request) -> None:
         # Stable priority order: lower priority value is served first.
-        index = len(self._waiting)
-        for i, other in enumerate(self._waiting):
+        # Same-priority traffic (the common case) appends in O(1).
+        waiting = self._waiting
+        if not waiting or req.priority >= waiting[-1].priority:
+            waiting.append(req)
+            return
+        index = len(waiting)
+        for i, other in enumerate(waiting):
             if req.priority < other.priority:
                 index = i
                 break
-        self._waiting.insert(index, req)
+        waiting.insert(index, req)
 
     def release(self, req: Request) -> None:
         """Return a previously-granted slot."""
@@ -69,7 +74,7 @@ class Resource:
         except ValueError:
             raise SimulationError("release of a request that holds no slot")
         if self._waiting:
-            nxt = self._waiting.pop(0)
+            nxt = self._waiting.popleft()
             self._users.append(nxt)
             nxt.succeed(nxt)
 

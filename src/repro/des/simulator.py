@@ -65,6 +65,19 @@ class Simulator:
         """Current simulation time."""
         return self._now
 
+    # -- tracing ---------------------------------------------------------
+
+    @property
+    def trace_enabled(self) -> bool:
+        """``True`` when the trace recorder accepts records.
+
+        Hot paths guard on this before assembling a record, so a disabled
+        tracer costs one attribute read per event instead of a six-argument
+        call plus a kwargs dict (``tpwire/bus.py``, ``net/link.py`` and
+        friends trace every frame).
+        """
+        return self.trace.enabled
+
     # -- scheduling ------------------------------------------------------
 
     def at(self, time: float, fn: Callable[..., Any], *args, priority: int = 0) -> Event:
@@ -73,7 +86,8 @@ class Simulator:
             raise SchedulerError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, self._next_seq(), fn, args, priority)
+        self._seq += 1
+        event = Event(time, self._seq, fn, args, priority)
         self._queue.push(event)
         return event
 
@@ -89,10 +103,6 @@ class Simulator:
             self._queue.notify_cancelled()
             return True
         return False
-
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
 
     # -- processes ---------------------------------------------------------
 
@@ -144,18 +154,33 @@ class Simulator:
             raise SchedulerError("simulator is already running")
         self._running = True
         self._stopped = False
+        queue = self._queue
         fired = 0
         try:
-            while len(self._queue) > 0:
-                next_time = self._queue.peek_time()
-                if until is not None and next_time is not None and next_time > until:
-                    break
-                self.step()
-                fired += 1
-                if self._stopped:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
+            if until is None and max_events is None:
+                # Unbounded drain: the common benchmark/scenario shape.
+                # Skipping the per-iteration peek_time() matters — on the
+                # calendar queue a peek scans every bucket.
+                while len(queue) > 0:
+                    event = queue.pop()
+                    self._now = event.time
+                    event.fire()
+                    if self._stopped:
+                        break
+            else:
+                while len(queue) > 0:
+                    if until is not None:
+                        next_time = queue.peek_time()
+                        if next_time is not None and next_time > until:
+                            break
+                    event = queue.pop()
+                    self._now = event.time
+                    event.fire()
+                    fired += 1
+                    if self._stopped:
+                        break
+                    if max_events is not None and fired >= max_events:
+                        break
         except StopSimulation:
             pass
         finally:

@@ -49,8 +49,11 @@ class TraceRecorder:
     Parameters
     ----------
     enabled:
-        A disabled recorder drops records at negligible cost, so models can
-        call :meth:`record` unconditionally.
+        A disabled recorder drops records cheaply, so occasional call
+        sites can call :meth:`record` unconditionally.  Per-event/per-frame
+        hot paths should guard with
+        :attr:`repro.des.simulator.Simulator.trace_enabled` instead, which
+        skips assembling the record arguments entirely.
     keep:
         Retain records in memory (for tests and analysis).
     sink:

@@ -13,6 +13,7 @@ from repro.lint.rules import (  # noqa: F401
     frame_bounds,
     layer_purity,
     mutable_default,
+    perf_pop0,
     unseeded_random,
     wall_clock,
 )

@@ -51,17 +51,19 @@ class Link:
         """Enqueue ``packet`` for transmission; ``False`` if dropped."""
         if self.queue_limit is not None and len(self._queue) >= self.queue_limit:
             self.drops += 1
-            self.sim.trace.record(
-                self.sim.now, "d", self.src_node.name, self.dst_node.name,
-                packet.kind, packet.size, uid=packet.uid,
-            )
+            if self.sim.trace_enabled:
+                self.sim.trace.record(
+                    self.sim.now, "d", self.src_node.name, self.dst_node.name,
+                    packet.kind, packet.size, uid=packet.uid,
+                )
             return False
         self._queue.append(packet)
         self.queue_monitor.set(len(self._queue))
-        self.sim.trace.record(
-            self.sim.now, "+", self.src_node.name, self.dst_node.name,
-            packet.kind, packet.size, uid=packet.uid,
-        )
+        if self.sim.trace_enabled:
+            self.sim.trace.record(
+                self.sim.now, "+", self.src_node.name, self.dst_node.name,
+                packet.kind, packet.size, uid=packet.uid,
+            )
         if not self._busy:
             self._start_next()
         return True
@@ -74,10 +76,11 @@ class Link:
         packet = self._queue.popleft()
         self.queue_monitor.set(len(self._queue))
         tx_time = packet.bits / self.bandwidth_bps
-        self.sim.trace.record(
-            self.sim.now, "-", self.src_node.name, self.dst_node.name,
-            packet.kind, packet.size, uid=packet.uid,
-        )
+        if self.sim.trace_enabled:
+            self.sim.trace.record(
+                self.sim.now, "-", self.src_node.name, self.dst_node.name,
+                packet.kind, packet.size, uid=packet.uid,
+            )
         self.sim.after(tx_time, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:

@@ -49,10 +49,11 @@ class Node:
         """Hand an arriving packet to the agent on its destination port."""
         port = packet.headers.get("port", 0)
         agent = self._agents.get(port)
-        self.sim.trace.record(
-            self.sim.now, "r", str(packet.src), self.name, packet.kind,
-            packet.size, uid=packet.uid,
-        )
+        if self.sim.trace_enabled:
+            self.sim.trace.record(
+                self.sim.now, "r", str(packet.src), self.name, packet.kind,
+                packet.size, uid=packet.uid,
+            )
         if agent is not None:
             agent.recv(packet)
 

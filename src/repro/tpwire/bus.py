@@ -21,6 +21,7 @@ not feed watchdogs); a corrupted RX surfaces as a CRC error at the master.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
@@ -98,7 +99,7 @@ class TpwireBus:
         self.slaves: list[TpwireSlave] = []
         self._by_node_id: dict[int, TpwireSlave] = {}
         self._busy = False
-        self._pending: list[tuple[TxFrame, Waitable]] = []
+        self._pending: deque[tuple[TxFrame, bool, Waitable]] = deque()
         # -- statistics
         self.tx_frames = 0
         self.rx_frames = 0
@@ -169,10 +170,11 @@ class TpwireBus:
         self.cycles += 1
         self.tx_frames += 1
         self.frame_rate.tick()
-        self.sim.trace.record(
-            self.sim.now, "s", "master", self.name, "tpwire-tx",
-            2, cmd=frame.cmd.name, data=frame.data,
-        )
+        if self.sim.trace_enabled:
+            self.sim.trace.record(
+                self.sim.now, "s", "master", self.name, "tpwire-tx",
+                2, cmd=frame.cmd.name, data=frame.data,
+            )
         corrupted = (
             self.error_model.corrupt_tx() if self.error_model is not None else False
         )
@@ -230,15 +232,16 @@ class TpwireBus:
         self.sim.after(duration, self._finish_cycle, done, result)
 
     def _finish_cycle(self, done: Waitable, result: CycleResult) -> None:
-        self.sim.trace.record(
-            self.sim.now, "r", self.name, "master", "tpwire-rx",
-            2 if result.rx is not None else 0, status=result.status.value,
-        )
+        if self.sim.trace_enabled:
+            self.sim.trace.record(
+                self.sim.now, "r", self.name, "master", "tpwire-rx",
+                2 if result.rx is not None else 0, status=result.status.value,
+            )
         if self.obs is not None:
             self.obs.tracer.event("tpwire", "rx", status=result.status.value)
         done.succeed(result)
         if self._pending:
-            frame, expect_reply, next_done = self._pending.pop(0)
+            frame, expect_reply, next_done = self._pending.popleft()
             if self.obs is not None:
                 self._queue_depth.set(len(self._pending))
             self._start_cycle(frame, expect_reply, next_done)

@@ -76,6 +76,14 @@ class BusTiming:
     hop_delay_bits:
         Repeater latency a frame accrues at each slave it passes through
         in the daisy chain.
+
+    Derived durations (``bit_period``, ``frame_duration``, ``gap_duration``,
+    ``turnaround_duration``, ``reset_timeout``, ``reset_active``,
+    ``frame_bits_on_wire``) are computed once in ``__post_init__`` and read
+    as plain attributes: the bus derives several of them per frame, and on
+    a multi-thousand-frame run re-deriving ``1.0 / bit_rate`` and friends
+    on every access is pure overhead.  The per-hop delay/arrival/exchange
+    tables grow lazily up to the deepest chain position ever asked for.
     """
 
     bit_rate: float = 2400.0
@@ -96,49 +104,67 @@ class BusTiming:
             raise ValueError("PARALLEL_DATA mode needs at least 2 wires")
         if min(self.gap_bits, self.turnaround_bits, self.hop_delay_bits) < 0:
             raise ValueError("bit-period counts must be >= 0")
-
-    # -- basic periods ------------------------------------------------------
-
-    @property
-    def bit_period(self) -> float:
-        return 1.0 / self.bit_rate
-
-    @property
-    def frame_bits_on_wire(self) -> int:
-        """Bit periods one frame occupies the bus."""
+        # Precomputed scalars (the dataclass is frozen; these are caches,
+        # not fields, so equality/repr still follow the declared knobs).
+        set_attr = object.__setattr__
+        bit_period = 1.0 / self.bit_rate
+        set_attr(self, "bit_period", bit_period)
         if self.mode is WireMode.PARALLEL_DATA:
             # Data lines start one bit after the start bit; the CRC goes
             # out serially once command bits and striped data are in.
             data_done = 1 + math.ceil(DATA_BITS / (self.wires - 1))
-            return max(LEAD_BITS, data_done) + CRC_BITS
-        return FRAME_BITS
+            frame_bits = max(LEAD_BITS, data_done) + CRC_BITS
+        else:
+            frame_bits = FRAME_BITS
+        set_attr(self, "frame_bits_on_wire", frame_bits)
+        set_attr(self, "frame_duration", frame_bits * bit_period)
+        set_attr(self, "gap_duration", self.gap_bits * bit_period)
+        set_attr(self, "turnaround_duration", self.turnaround_bits * bit_period)
+        set_attr(self, "reset_timeout", RESET_TIMEOUT_BITS * bit_period)
+        set_attr(self, "reset_active", RESET_ACTIVE_BITS * bit_period)
+        # Per-hop tables, indexed by chain depth; hop 0 seeds them.
+        set_attr(self, "_hop_delay_table", [0 * self.hop_delay_bits * bit_period])
+        set_attr(self, "_tx_arrival_table", [self.frame_duration + self._hop_delay_table[0]])
+        one_way = self._tx_arrival_table[0]
+        set_attr(
+            self,
+            "_exchange_table",
+            [one_way + self.turnaround_duration + one_way + self.gap_duration],
+        )
 
-    @property
-    def frame_duration(self) -> float:
-        return self.frame_bits_on_wire * self.bit_period
-
-    @property
-    def gap_duration(self) -> float:
-        return self.gap_bits * self.bit_period
-
-    @property
-    def turnaround_duration(self) -> float:
-        return self.turnaround_bits * self.bit_period
+    def _grow_tables(self, hops: int) -> None:
+        """Extend the per-hop tables through depth ``hops``."""
+        hop_delay_table = self._hop_delay_table
+        tx_arrival_table = self._tx_arrival_table
+        exchange_table = self._exchange_table
+        for depth in range(len(hop_delay_table), hops + 1):
+            delay = depth * self.hop_delay_bits * self.bit_period
+            one_way = self.frame_duration + delay
+            hop_delay_table.append(delay)
+            tx_arrival_table.append(one_way)
+            exchange_table.append(
+                one_way + self.turnaround_duration + one_way + self.gap_duration
+            )
 
     def hop_delay(self, hops: int) -> float:
-        return hops * self.hop_delay_bits * self.bit_period
+        if hops >= len(self._hop_delay_table):
+            self._grow_tables(hops)
+        return self._hop_delay_table[hops]
 
     # -- cycle durations ------------------------------------------------------
 
     def tx_arrival_delay(self, hops: int) -> float:
         """Master TX start -> frame fully received at a slave ``hops`` deep."""
-        return self.frame_duration + self.hop_delay(hops)
+        if hops >= len(self._tx_arrival_table):
+            self._grow_tables(hops)
+        return self._tx_arrival_table[hops]
 
     def exchange_duration(self, hops: int) -> float:
         """Full communication cycle with the slave at depth ``hops``:
         TX + turnaround + RX + inter-cycle gap."""
-        one_way = self.frame_duration + self.hop_delay(hops)
-        return one_way + self.turnaround_duration + one_way + self.gap_duration
+        if hops >= len(self._exchange_table):
+            self._grow_tables(hops)
+        return self._exchange_table[hops]
 
     def broadcast_duration(self, chain_length: int) -> float:
         """Broadcast cycle: TX to the end of the chain, no RX (Sec. 3.1)."""
@@ -158,18 +184,6 @@ class BusTiming:
             + self.hop_delay(hops)
         )
         return expected * margin
-
-    # -- reset model -----------------------------------------------------------
-
-    @property
-    def reset_timeout(self) -> float:
-        """Seconds of TX silence after which a slave self-resets."""
-        return RESET_TIMEOUT_BITS * self.bit_period
-
-    @property
-    def reset_active(self) -> float:
-        """Seconds the reset pulse holds the slave unresponsive."""
-        return RESET_ACTIVE_BITS * self.bit_period
 
     # -- derived metrics ---------------------------------------------------------
 

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.des.errors import SchedulerError
 from repro.des.event import Event
+from repro.des.random_streams import StreamRegistry
 from repro.des.scheduler import CalendarQueueScheduler, HeapScheduler
 
 
@@ -120,6 +121,86 @@ class TestCalendarQueueSpecifics:
             event = queue.pop()
             assert event.time >= last_popped
             last_popped = event.time
+
+
+def _mirrored_pair(time, seq, priority):
+    """The same logical event, one instance per queue under test."""
+    return make_event(time, seq, priority), make_event(time, seq, priority)
+
+
+def test_parity_on_randomized_push_cancel_pop_workloads():
+    """Heap and calendar queues pop identical sequences under a mixed
+    push/cancel/pop workload (seeded via the deterministic stream
+    registry, like every other stochastic component)."""
+    registry = StreamRegistry(master_seed=0x5EED)
+    for case in range(6):
+        rng = registry.stream(f"scheduler-parity-{case}")
+        heap = HeapScheduler()
+        calendar = CalendarQueueScheduler(nbuckets=4, width=0.25)
+        live: list[tuple[Event, Event]] = []
+        seq = 0
+        pops = 0
+        for _ in range(800):
+            action = rng.random()
+            if action < 0.55 or not live:
+                seq += 1
+                t = rng.uniform(0.0, 40.0)
+                priority = rng.choice((-1, 0, 1))
+                heap_event, cal_event = _mirrored_pair(t, seq, priority)
+                heap.push(heap_event)
+                calendar.push(cal_event)
+                live.append((heap_event, cal_event))
+            elif action < 0.70:
+                heap_event, cal_event = live.pop(rng.randrange(len(live)))
+                assert heap_event.cancel() and cal_event.cancel()
+                heap.notify_cancelled()
+                calendar.notify_cancelled()
+            else:
+                from_heap = heap.pop()
+                from_calendar = calendar.pop()
+                assert from_heap.sort_key == from_calendar.sort_key
+                pops += 1
+                index = next(
+                    i for i, (he, _) in enumerate(live) if he is from_heap
+                )
+                del live[index]
+        assert pops > 0 and len(heap) == len(calendar) == len(live)
+        drained = []
+        while len(heap):
+            from_heap, from_calendar = heap.pop(), calendar.pop()
+            assert from_heap.sort_key == from_calendar.sort_key
+            drained.append(from_heap.sort_key)
+        assert drained == sorted(drained)
+
+
+def test_parity_out_of_order_inserts_after_resize():
+    """Pushing events earlier than the last popped time — legal after a
+    calendar resize snapshot — rewinds the bucket scan and still pops in
+    heap order."""
+    registry = StreamRegistry(master_seed=7)
+    rng = registry.stream("scheduler-rewind")
+    heap = HeapScheduler()
+    calendar = CalendarQueueScheduler(nbuckets=4, width=0.5)
+    # Grow well past 2 * nbuckets to force several doubling resizes.
+    for seq in range(120):
+        t = rng.uniform(0.0, 60.0)
+        heap_event, cal_event = _mirrored_pair(t, seq, 0)
+        heap.push(heap_event)
+        calendar.push(cal_event)
+    for _ in range(60):
+        assert heap.pop().sort_key == calendar.pop().sort_key
+    # Out-of-order inserts: strictly before every remaining event.
+    for seq in range(1000, 1020):
+        t = rng.uniform(0.0, 0.01)
+        heap_event, cal_event = _mirrored_pair(t, seq, 0)
+        heap.push(heap_event)
+        calendar.push(cal_event)
+    order = []
+    while len(heap):
+        from_heap, from_calendar = heap.pop(), calendar.pop()
+        assert from_heap.sort_key == from_calendar.sort_key
+        order.append(from_heap.sort_key)
+    assert order == sorted(order)
 
 
 @settings(max_examples=50, deadline=None)

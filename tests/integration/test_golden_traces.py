@@ -80,6 +80,23 @@ def test_table3_trace_is_stable_within_process():
     assert _table3_trace() == _table3_trace()
 
 
+def test_table4_baseline_trace_and_metrics_are_deterministic():
+    """Two same-seed runs of the Table 4 baseline agree on the full trace
+    *and* every metric — the contract the engine fast path (cached event
+    keys, deque buckets, precomputed timing tables) must not disturb."""
+
+    def run_once():
+        obs = Observability(trace_categories=TABLE4_CATEGORIES)
+        result = CaseStudyScenario(CaseStudyConfig(), obs=obs).run()
+        return obs.tracer.to_jsonl(), obs.metrics.summary(), result
+
+    first_trace, first_metrics, first_result = run_once()
+    second_trace, second_metrics, second_result = run_once()
+    assert first_trace == second_trace
+    assert first_metrics == second_metrics
+    assert first_result == second_result
+
+
 def test_goldens_are_valid_jsonl():
     import json
 
