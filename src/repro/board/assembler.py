@@ -20,10 +20,7 @@ Operands may be decimal, hex (0x...), a label, or ``label+offset``.
 from __future__ import annotations
 
 from repro.board.cpu import INSTRUCTION_SIZE, Op, encode_program
-
-
-class AssemblerError(Exception):
-    """Bad mnemonic, unknown label or malformed line."""
+from repro.board.errors import AssemblerError
 
 
 #: Opcodes that take no operand in source form.

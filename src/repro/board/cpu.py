@@ -19,9 +19,7 @@ import enum
 import struct
 from typing import Callable, Optional
 
-
-class CpuError(Exception):
-    """Illegal instruction, stack fault or memory fault."""
+from repro.board.errors import CpuError
 
 
 class Op(enum.IntEnum):

@@ -11,3 +11,15 @@ class BoardError(Exception):
 
 class BridgeNotConnectedError(BoardError, RuntimeError):
     """A board port was used before ``connect_bridge`` wired it up."""
+
+
+class CpuError(BoardError):
+    """Illegal instruction, stack fault or memory fault."""
+
+
+class AssemblerError(BoardError):
+    """Bad mnemonic, unknown label or malformed line."""
+
+
+class RspError(BoardError):
+    """Malformed RSP packet or checksum failure."""

@@ -24,10 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.board.cpu import StackCpu
-
-
-class RspError(Exception):
-    """Malformed RSP packet or checksum failure."""
+from repro.board.errors import RspError
 
 
 def _checksum(data: bytes) -> int:

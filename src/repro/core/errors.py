@@ -27,3 +27,7 @@ class ProtocolError(SpaceError):
 
 class ConnectionClosedError(SpaceError, ConnectionError):
     """The transport closed mid-request (also a ``ConnectionError``)."""
+
+
+class RmiError(SpaceError):
+    """Registry/skeleton misuse (unknown name, unexposed method)."""

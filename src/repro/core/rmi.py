@@ -21,9 +21,7 @@ from __future__ import annotations
 import copy
 from typing import Any, Callable, Optional
 
-
-class RmiError(Exception):
-    """Registry/skeleton misuse (unknown name, unexposed method)."""
+from repro.core.errors import RmiError
 
 
 class Skeleton:

@@ -26,7 +26,7 @@ from repro.cosim.server_host import ServerTimingModel, SimServerHost
 from repro.des import Simulator
 from repro.hw.bridge import ClientBridge, ServerBridge
 from repro.net.traffic import CBRSource
-from repro.tpwire.agent import TpwireAgent, TpwireSink
+from repro.net.tpwire_agent import TpwireAgent, TpwireSink
 from repro.tpwire.timing import WireMode
 from repro.tpwire.transport import PollStrategy
 

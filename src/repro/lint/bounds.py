@@ -3,17 +3,17 @@
 Rule ``frame-bounds`` needs the numeric limits of each frame field
 (Tables 1 and 2 of the paper).  Hard-coding them in the linter would let
 the linter and the protocol drift apart, so the authoritative constants
-are re-read from the AST of :mod:`repro.tpwire.frames` and
-:mod:`repro.tpwire.commands` at lint time:
+are re-read from the AST of :mod:`repro.tpwire.constants` (the single
+protocol-constants module) at lint time:
 
-* ``FRAME_BITS`` (frames.py)  -> bound of a whole frame ``word``;
-* ``BROADCAST_NODE_ID`` (commands.py) -> bound of ``node_id``/``slave_id``
-  (the 7-bit address space, broadcast id included).
+* ``FRAME_BITS`` -> bound of a whole frame ``word``;
+* ``BROADCAST_NODE_ID`` -> bound of ``node_id``/``slave_id`` (the 7-bit
+  address space, broadcast id included).
 
 Sub-word field widths (CMD 3 bits, TYPE 2, DATA 8, CRC 4) are fixed by
-the frame layout itself and kept here.  If the protocol modules cannot
-be found (e.g. linting a source snippet outside the repo) the paper's
-values are used as fallbacks.
+the frame layout itself and kept here.  Pre-consolidation locations
+(``frames.py``/``commands.py``) are read as fallbacks, then the paper's
+values, so linting a snippet outside the repo still works.
 """
 
 from __future__ import annotations
@@ -63,11 +63,13 @@ def frame_field_bounds(source_dir: Optional[Path] = None) -> dict[str, FieldBoun
     """Bounds keyed by the identifier names the rule matches on."""
     source_dir = source_dir if source_dir is not None else tpwire_source_dir()
     frame_bits = (
-        _module_int_constant(source_dir / "frames.py", "FRAME_BITS")
+        _module_int_constant(source_dir / "constants.py", "FRAME_BITS")
+        or _module_int_constant(source_dir / "frames.py", "FRAME_BITS")
         or FALLBACK_FRAME_BITS
     )
     broadcast = (
-        _module_int_constant(source_dir / "commands.py", "BROADCAST_NODE_ID")
+        _module_int_constant(source_dir / "constants.py", "BROADCAST_NODE_ID")
+        or _module_int_constant(source_dir / "commands.py", "BROADCAST_NODE_ID")
         or FALLBACK_BROADCAST_NODE_ID
     )
     word_max = (1 << frame_bits) - 1

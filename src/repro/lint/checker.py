@@ -15,25 +15,9 @@ from repro.lint.findings import FileReport, Finding, Severity
 from repro.lint.registry import Rule, instantiate
 from repro.lint.suppressions import SuppressionIndex
 
-
-def module_name_for(path: Path) -> str:
-    """Derive the dotted module name a file would import as.
-
-    Anchored on the ``repro``/``tests``/``benchmarks`` package component
-    when present (``src/repro/core/clock.py`` -> ``repro.core.clock``),
-    otherwise the bare stem — fixtures can always pass an explicit
-    module name to :func:`lint_source` instead.
-    """
-    parts = list(path.with_suffix("").parts)
-    for anchor in ("repro", "tests", "benchmarks"):
-        if anchor in parts:
-            parts = parts[parts.index(anchor):]
-            break
-    else:
-        parts = parts[-1:]
-    if parts and parts[-1] == "__init__":
-        parts = parts[:-1]
-    return ".".join(parts)
+# Single source of truth for path -> dotted-module mapping: the per-file
+# and project passes must never disagree about a module's name.
+from repro.lint.project.resolver import module_name_for  # noqa: F401
 
 
 def iter_python_files(paths: list[Path], config: LintConfig) -> Iterator[Path]:

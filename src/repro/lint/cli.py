@@ -1,5 +1,14 @@
 """Command-line front end: ``python -m repro.lint [paths]``.
 
+Runs two passes over the tree and merges their findings:
+
+* the **per-file pass** (:mod:`repro.lint.checker`) — one module at a
+  time, rules like ``wall-clock`` and ``frame-bounds``;
+* the **project pass** (:mod:`repro.lint.project`) — whole-program
+  rules like ``layer-cycle`` and ``proto-const-drift``, backed by an
+  incremental cache.  The project index always covers the configured
+  roots; the CLI paths only filter which findings are reported.
+
 Exit status: 0 when clean (or warnings only), 1 when any error-severity
 finding survives suppression, 2 on usage/configuration problems.
 """
@@ -15,8 +24,9 @@ from typing import Optional
 from repro.lint.checker import lint_paths
 from repro.lint.config import LintConfig, load_config
 from repro.lint.errors import LintError
-from repro.lint.findings import Severity
-from repro.lint.registry import all_rule_classes
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import all_rule_classes, instantiate, is_project_rule
+from repro.lint.sarif import to_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,9 +60,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the whole-program pass (per-file rules only)",
+    )
+    parser.add_argument(
+        "--project-only",
+        action="store_true",
+        help="run only the whole-program pass",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the project-pass cache",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="worker processes for the project pass (default: auto)",
     )
     parser.add_argument(
         "--list-rules",
@@ -79,13 +110,33 @@ def _list_rules(config: LintConfig) -> int:
     for rule_id in sorted(classes):
         rule = classes[rule_id](config)
         scope = ", ".join(rule.scope) if rule.scope else "all modules"
-        print(f"{rule_id:<{width}}  [{rule.severity.value}] {rule.summary}")
+        kind = "project" if is_project_rule(classes[rule_id]) else "file"
+        print(f"{rule_id:<{width}}  [{rule.severity.value}, {kind}] {rule.summary}")
         print(f"{'':<{width}}  scope: {scope}")
     return 0
 
 
+def _dedup(findings: list[Finding]) -> list[Finding]:
+    """Drop exact duplicates (both passes report parse errors)."""
+    seen: set[tuple] = set()
+    unique: list[Finding] = []
+    for finding in findings:
+        key = (finding.path, finding.line, finding.col, finding.rule, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(finding)
+    return unique
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.no_project and args.project_only:
+        print(
+            "repro-lint: --no-project and --project-only are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     try:
         if args.no_config:
             config = LintConfig(root=Path.cwd())
@@ -97,8 +148,14 @@ def main(argv: Optional[list[str]] = None) -> int:
             return _list_rules(config)
 
         select = None
-        if args.select:
+        if args.select is not None:
             select = [rule.strip() for rule in args.select.split(",") if rule.strip()]
+            if not select:
+                print(
+                    "repro-lint: --select given but names no rules",
+                    file=sys.stderr,
+                )
+                return 2
 
         paths = [Path(p) for p in args.paths]
         missing = [p for p in paths if not p.exists()]
@@ -108,13 +165,43 @@ def main(argv: Optional[list[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
-        reports = lint_paths(paths, config=config, select=select)
+
+        rules = instantiate(config, select=select)
+        project_rules = instantiate(config, select=select, project=True)
+
+        reports = []
+        if not args.project_only:
+            reports = lint_paths(paths, config=config, select=select)
+        project_reports = []
+        if not args.no_project and project_rules:
+            from repro.lint.project import run_project
+
+            project_reports, _stats = run_project(
+                paths,
+                config=config,
+                select=select,
+                use_cache=not args.no_cache,
+                jobs=args.jobs,
+            )
     except LintError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
-    findings = [f for report in reports for f in report.findings]
-    suppressed = [f for report in reports for f in report.suppressed]
+    findings = _dedup(
+        sorted(
+            [f for report in reports for f in report.findings]
+            + [f for report in project_reports for f in report.findings],
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+    )
+    suppressed = _dedup(
+        sorted(
+            [f for report in reports for f in report.suppressed]
+            + [f for report in project_reports for f in report.suppressed],
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+    )
+    files = len(reports) if reports else len(project_reports)
 
     if args.format == "json":
         print(
@@ -122,11 +209,13 @@ def main(argv: Optional[list[str]] = None) -> int:
                 {
                     "findings": [f.as_dict() for f in findings],
                     "suppressed": [f.as_dict() for f in suppressed],
-                    "files": len(reports),
+                    "files": files,
                 },
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings, suppressed, rules + project_rules), indent=2))
     else:
         for finding in findings:
             print(finding.format())
@@ -137,7 +226,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             errors = sum(1 for f in findings if f.severity is Severity.ERROR)
             warnings = len(findings) - errors
             print(
-                f"repro-lint: {len(reports)} files, {errors} errors, "
+                f"repro-lint: {files} files, {errors} errors, "
                 f"{warnings} warnings, {len(suppressed)} suppressed"
             )
 

@@ -1,0 +1,15 @@
+"""Built-in whole-program rule set.
+
+Importing this package registers every project rule; add one by
+dropping a module here that defines a
+:class:`~repro.lint.registry.ProjectRule` subclass decorated with
+:func:`~repro.lint.registry.register`, and importing it below.
+"""
+
+from repro.lint.project.rules import (  # noqa: F401
+    dead_public_api,
+    exception_flow,
+    layer_cycle,
+    proto_const_drift,
+    shadowed_export,
+)

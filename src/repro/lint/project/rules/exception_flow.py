@@ -1,0 +1,177 @@
+"""Rule ``exception-flow`` — exceptions live and flow where declared.
+
+Each layer owns one error hierarchy (``repro.<layer>.errors``); the
+per-file ``error-hierarchy`` rule already rejects raising generic
+builtins, and this rule adds the cross-module half of the contract:
+
+* an exception class defined anywhere *outside* its layer's declared
+  errors module fragments the hierarchy (callers cannot import it from
+  the one obvious place);
+* a ``raise`` of another layer's error class misrepresents where a
+  failure came from — unless the owners table explicitly allows it
+  (``hw`` legitimately raises ``tpwire`` protocol errors: the RTL model
+  implements that protocol);
+* a docstring ``Raises:`` entry naming a project error that nothing the
+  function's module (or its transitive imports) ever raises is a stale
+  contract.
+
+Owners come from ``[tool.repro-lint.exception-flow.owners]``; each
+layer maps to the error modules it may define in and raise from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.project.engine import BUILTIN_EXCEPTIONS
+from repro.lint.registry import ProjectRule, register
+
+#: layer -> error modules it owns / may raise from.  ``hw`` has no
+#: errors module of its own: its domain errors *are* the wire-protocol
+#: errors it implements.  ``analysis`` raises only builtin contract
+#: errors and owns nothing.
+DEFAULT_OWNERS: dict[str, list[str]] = {
+    "repro.des": ["repro.des.errors"],
+    "repro.board": ["repro.board.errors"],
+    "repro.lint": ["repro.lint.errors"],
+    "repro.tpwire": ["repro.tpwire.errors"],
+    "repro.core": ["repro.core.errors"],
+    "repro.analysis": [],
+    "repro.net": ["repro.net.errors"],
+    "repro.hw": ["repro.tpwire.errors"],
+    "repro.obs": ["repro.obs.errors"],
+    "repro.cosim": ["repro.cosim.errors"],
+}
+
+
+@register
+class ExceptionFlowRule(ProjectRule):
+    id = "exception-flow"
+    summary = (
+        "exception classes live in their layer's errors module; raises "
+        "and documented Raises: stay within the declared flow"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        owners: dict[str, list[str]] = dict(self.options.get("owners", DEFAULT_OWNERS))
+        owner_modules = {m for mods in owners.values() for m in mods}
+
+        def layer_of(module: str) -> Optional[str]:
+            best = None
+            for layer in owners:
+                if module == layer or module.startswith(layer + "."):
+                    if best is None or len(layer) > len(best):
+                        best = layer
+            return best
+
+        for module in sorted(index.summaries):
+            if not self.in_scope(module):
+                continue
+            summary = index.summaries[module]
+            layer = layer_of(module)
+            yield from self._check_definitions(
+                index, summary, layer, owners, owner_modules
+            )
+            if layer is not None:
+                yield from self._check_raises(index, summary, layer, owners, owner_modules)
+            yield from self._check_doc_raises(index, summary)
+
+    # -- stray class definitions -------------------------------------------
+
+    def _check_definitions(self, index, summary, layer, owners, owner_modules):
+        if summary.module in owner_modules:
+            return
+        for name, klass in sorted(summary.classes.items()):
+            if not index.is_exception_class(summary.module, name):
+                continue
+            home = ", ".join(owners.get(layer, [])) or "an errors module"
+            yield self.finding_at(
+                summary.path,
+                klass["line"],
+                f"exception class {name} defined outside the layer's error "
+                f"hierarchy; move it to {home}",
+            )
+
+    # -- cross-layer raises -------------------------------------------------
+
+    def _check_raises(self, index, summary, layer, owners, owner_modules):
+        allowed = set(owners.get(layer, ()))
+        for site in summary.raises:
+            def_module = self._defining_module(index, summary, site["name"])
+            if def_module is None or def_module not in owner_modules:
+                continue
+            def_layer = None
+            for owner_layer, mods in owners.items():
+                if def_module in mods:
+                    def_layer = owner_layer
+                    break
+            if def_module in allowed:
+                continue
+            if def_layer is not None and (
+                layer == def_layer or layer.startswith(def_layer + ".")
+            ):
+                continue
+            yield self.finding_at(
+                summary.path,
+                site["line"],
+                f"{summary.module} raises {site['name']} from {def_module}; "
+                f"{layer} may raise from: "
+                f"{', '.join(sorted(allowed)) or 'its own errors module only'}",
+            )
+
+    @staticmethod
+    def _defining_module(index, summary, raised: str) -> Optional[str]:
+        parts = raised.split(".")
+        if len(parts) == 1:
+            resolved = index.resolve_symbol(summary.module, raised)
+            return resolved[0] if resolved else None
+        if len(parts) == 2:
+            target = index.module_alias(summary.module, parts[0])
+            if target is not None:
+                resolved = index.resolve_symbol(target, parts[1])
+                return resolved[0] if resolved else target
+        head = ".".join(parts[:-1])
+        return head if head in index.summaries else None
+
+    # -- documented Raises: reachability ------------------------------------
+
+    def _check_doc_raises(self, index, summary):
+        reachable: Optional[set] = None  # built lazily, once per module
+        for qualname, func in sorted(summary.functions.items()):
+            doc_raises = func.get("doc_raises")
+            if not doc_raises:
+                continue
+            for documented in doc_raises:
+                leaf = documented.split(".")[-1]
+                if leaf in BUILTIN_EXCEPTIONS:
+                    # A builtin can surface from any callee; only domain
+                    # errors have a checkable flow.
+                    continue
+                def_module = self._defining_module(index, summary, documented)
+                if def_module is None or not index.is_exception_class(
+                    def_module if "." in documented else summary.module,
+                    leaf,
+                ):
+                    continue
+                if reachable is None:
+                    reachable = self._reachable_raise_names(index, summary)
+                if leaf not in reachable:
+                    yield self.finding_at(
+                        summary.path,
+                        func["line"],
+                        f"{qualname} documents raising {documented}, but "
+                        f"nothing in {summary.module} or its imports raises "
+                        f"{leaf}",
+                    )
+
+    @staticmethod
+    def _reachable_raise_names(index, summary) -> set:
+        names = {site["name"].split(".")[-1] for site in summary.raises}
+        for dep in index.graph.transitive_deps(summary.module):
+            dep_summary = index.summaries.get(dep)
+            if dep_summary is not None:
+                names.update(
+                    site["name"].split(".")[-1] for site in dep_summary.raises
+                )
+        return names

@@ -1,0 +1,113 @@
+"""Rule ``layer-cycle`` — the layer DAG holds and no import cycles exist.
+
+The paper's architecture is a strict stack: the event kernel (``des``)
+knows nothing above it, the wire protocol (``tpwire``) builds only on
+the kernel, the network and RTL models build on both, and only the
+co-simulation layer may see everything.  A single upward import quietly
+turns three independent models of the bus into one entangled one — the
+cross-validation in Table 3 stops being evidence.  This rule enforces
+the declared DAG (``[tool.repro-lint.layer-cycle.layers]``) over every
+project-internal import and rejects import cycles outright.
+
+Cycles are computed over *top-level* imports only: an import inside a
+function is the standard lazy cycle-breaker and works at run time, but
+it still counts as a layer edge — laziness must not launder an
+architecture violation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+#: The verified layer DAG of this repository: layer -> layers it may
+#: import from (its own layer is always allowed).
+DEFAULT_LAYERS: dict[str, list[str]] = {
+    "repro.des": [],
+    "repro.board": [],
+    "repro.lint": [],
+    "repro.tpwire": ["repro.des"],
+    "repro.core": ["repro.des"],
+    "repro.analysis": ["repro.des"],
+    "repro.net": ["repro.des", "repro.tpwire"],
+    "repro.hw": ["repro.des", "repro.tpwire"],
+    "repro.obs": ["repro.des", "repro.cosim"],
+    "repro.cosim": [
+        "repro.des",
+        "repro.tpwire",
+        "repro.net",
+        "repro.hw",
+        "repro.core",
+        "repro.board",
+        "repro.analysis",
+    ],
+}
+
+
+@register
+class LayerCycleRule(ProjectRule):
+    id = "layer-cycle"
+    summary = (
+        "no import cycles; imports must follow the declared layer DAG "
+        "(des -> tpwire -> net/hw -> cosim)"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        layers: dict[str, list[str]] = dict(
+            self.options.get("layers", DEFAULT_LAYERS)
+        )
+
+        def layer_of(module: str) -> Optional[str]:
+            best = None
+            for layer in layers:
+                if module == layer or module.startswith(layer + "."):
+                    if best is None or len(layer) > len(best):
+                        best = layer
+            return best
+
+        for cycle in index.graph.cycles():
+            start = cycle[0]
+            if not self.in_scope(start):
+                continue
+            summary = index.summaries.get(start)
+            if summary is None:
+                continue
+            line = self._edge_line(index, start, cycle[1 % len(cycle)])
+            chain = " -> ".join(cycle + [start])
+            yield self.finding_at(
+                summary.path, line, f"import cycle: {chain}"
+            )
+
+        seen: set[tuple[str, str, int]] = set()
+        for importer, imported, line, _top in index.all_edges:
+            if not self.in_scope(importer):
+                continue
+            src_layer = layer_of(importer)
+            dst_layer = layer_of(imported)
+            if src_layer is None or dst_layer is None or src_layer == dst_layer:
+                continue
+            if dst_layer in layers[src_layer]:
+                continue
+            key = (importer, imported, line)
+            if key in seen:
+                continue
+            seen.add(key)
+            summary = index.summaries.get(importer)
+            if summary is None:
+                continue
+            allowed = ", ".join(layers[src_layer]) or "nothing"
+            yield self.finding_at(
+                summary.path,
+                line,
+                f"{importer} ({src_layer}) imports {imported} ({dst_layer}); "
+                f"the layer DAG allows {src_layer} -> {allowed}",
+            )
+
+    @staticmethod
+    def _edge_line(index, importer: str, imported: str) -> int:
+        for edge_importer, edge_imported, line, top in index.all_edges:
+            if edge_importer == importer and edge_imported == imported and top:
+                return line
+        return 1

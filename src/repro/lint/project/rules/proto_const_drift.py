@@ -1,0 +1,125 @@
+"""Rule ``proto-const-drift`` — one source of truth for protocol constants.
+
+The paper's frame format (Fig. 4: 16-bit frames, 8 data bits, 4-bit
+CRC, CRC-4 polynomial 0b10011 ...) appears in three independent models:
+the behavioural protocol (``tpwire``), the network agents (``net``) and
+the RTL-ish hardware model (``hw``).  If one copy of a width drifts,
+the models keep running — they just silently stop describing the same
+bus.  This rule propagates module-level constants across the project
+and demands that every binding of a *tracked* protocol constant outside
+the canonical module (``repro.tpwire.constants``) either re-imports it
+or is an expression that traces back to it; a fresh literal is an
+error even when today's value happens to match.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+DEFAULT_CANONICAL = "repro.tpwire.constants"
+
+DEFAULT_SCOPE = ("repro.tpwire", "repro.net", "repro.hw")
+
+
+@register
+class ProtoConstDriftRule(ProjectRule):
+    id = "proto-const-drift"
+    summary = (
+        "protocol constants must trace to repro.tpwire.constants, "
+        "never be re-derived as literals"
+    )
+    default_scope = DEFAULT_SCOPE
+
+    def check(self, index) -> Iterator[Finding]:
+        canonical = self.options.get("canonical", DEFAULT_CANONICAL)
+        canon_summary = index.summaries.get(canonical)
+        if canon_summary is None:
+            return
+        canon_env = index.const_env(canonical)
+        tracked = set(self.options.get("track", ())) or {
+            name for name in canon_summary.constants if name in canon_env
+        }
+
+        for module in sorted(index.summaries):
+            if module == canonical or not self.in_scope(module):
+                continue
+            summary = index.summaries[module]
+            for binding in summary.bindings:
+                name = binding["name"]
+                if name not in tracked or binding["kind"] != "assign":
+                    # Re-imports resolve through resolve_symbol at their
+                    # definition site; only fresh assignments can drift.
+                    continue
+                value = index.constant_value(module, name)
+                canon_value = canon_env.get(name)
+                if (
+                    value is not None
+                    and canon_value is not None
+                    and value != canon_value
+                ):
+                    yield self.finding_at(
+                        summary.path,
+                        binding["line"],
+                        f"{name} = {value!r} drifts from "
+                        f"{canonical}.{name} = {canon_value!r}",
+                    )
+                elif not self._traces_to_canonical(
+                    index, module, summary.constants.get(name), canonical, set()
+                ):
+                    yield self.finding_at(
+                        summary.path,
+                        binding["line"],
+                        f"{name} is re-derived locally; protocol constants "
+                        f"must be imported from (or computed from) {canonical}",
+                    )
+
+    def _traces_to_canonical(
+        self, index, module: str, expr, canonical: str, seen: set
+    ) -> bool:
+        """Does any leaf of ``expr`` resolve into the canonical module?"""
+        if expr is None:
+            return False
+        kind = expr.get("t")
+        if kind == "num":
+            return False
+        if kind == "name":
+            return self._name_traces(index, module, expr["id"], canonical, seen)
+        if kind == "dot":
+            parts = expr["d"].split(".")
+            head = ".".join(parts[:-1])
+            if head == canonical or (
+                len(parts) == 2
+                and index.module_alias(module, parts[0]) == canonical
+            ):
+                return True
+            if head in index.summaries:
+                return self._name_traces(index, head, parts[-1], canonical, seen)
+            return False
+        if kind == "un":
+            return self._traces_to_canonical(index, module, expr["v"], canonical, seen)
+        if kind == "bin":
+            return self._traces_to_canonical(
+                index, module, expr["l"], canonical, seen
+            ) or self._traces_to_canonical(index, module, expr["r"], canonical, seen)
+        return False
+
+    def _name_traces(
+        self, index, module: str, name: str, canonical: str, seen: set
+    ) -> bool:
+        if (module, name) in seen:
+            return False
+        seen.add((module, name))
+        resolved = index.resolve_symbol(module, name)
+        if resolved is None:
+            return False
+        def_module, binding = resolved
+        if def_module == canonical:
+            return True
+        if binding["kind"] == "assign":
+            summary = index.summaries.get(def_module)
+            expr = summary.constants.get(binding["name"]) if summary else None
+            return self._traces_to_canonical(index, def_module, expr, canonical, seen)
+        return False

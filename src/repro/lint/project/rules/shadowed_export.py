@@ -1,0 +1,77 @@
+"""Rule ``shadowed-export`` — ``__all__`` and imports must agree.
+
+Two quiet ways a module's public face can lie:
+
+* ``__all__`` names something the module never defines or imports — a
+  ghost export that turns ``from pkg import *`` (and documentation
+  generated from ``__all__``) into a runtime ``AttributeError``;
+* one top-level import unconditionally rebinds a name another import
+  just bound — the first import survives only in the reader's head.
+  Conditional rebinding (``try``/``except ImportError`` fallbacks, and
+  anything under ``if``) is the standard compatibility idiom and stays
+  allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+_IMPORT_KINDS = ("import", "from")
+
+
+@register
+class ShadowedExportRule(ProjectRule):
+    id = "shadowed-export"
+    summary = (
+        "__all__ entries must resolve to real bindings; imports must not "
+        "silently shadow earlier imports"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        for module in sorted(index.summaries):
+            if not self.in_scope(module):
+                continue
+            summary = index.summaries[module]
+            bound = {rec["name"] for rec in summary.bindings}
+
+            # A module-level __getattr__ (PEP 562) serves names lazily;
+            # __all__ entries beyond the static bindings are then
+            # legitimate and unknowable here.
+            has_module_getattr = "__getattr__" in summary.functions
+
+            if summary.all_names is not None and not has_module_getattr:
+                seen: set[str] = set()
+                for name in summary.all_names:
+                    if name in seen:
+                        yield self.finding_at(
+                            summary.path,
+                            summary.all_line,
+                            f"duplicate __all__ entry {name!r}",
+                        )
+                        continue
+                    seen.add(name)
+                    if name not in bound:
+                        yield self.finding_at(
+                            summary.path,
+                            summary.all_line,
+                            f"__all__ names {name!r}, which {module} neither "
+                            f"defines nor imports",
+                        )
+
+            first_import: dict[str, dict] = {}
+            for rec in summary.bindings:
+                if rec["kind"] not in _IMPORT_KINDS or rec["cond"]:
+                    continue
+                earlier = first_import.get(rec["name"])
+                if earlier is not None and earlier["line"] != rec["line"]:
+                    yield self.finding_at(
+                        summary.path,
+                        rec["line"],
+                        f"import of {rec['name']!r} shadows the import on "
+                        f"line {earlier['line']}",
+                    )
+                first_import.setdefault(rec["name"], rec)
+        return

@@ -10,6 +10,7 @@ the checker enumerates rules statically.
 from __future__ import annotations
 
 import ast
+import difflib
 from typing import Iterable, Iterator, Optional, Type
 
 from repro.lint.context import ModuleContext
@@ -72,7 +73,42 @@ class Rule:
         )
 
 
-#: All registered rule classes, keyed by rule id.
+class ProjectRule(Rule):
+    """Base class for one whole-program rule.
+
+    Same registry, configuration, severity and suppression machinery as
+    the per-file :class:`Rule`, but :meth:`check` receives the
+    :class:`~repro.lint.project.engine.ProjectIndex` (every module's
+    symbol summary plus the import graph) instead of one module, so a
+    rule can follow a constant across files or reject a layering edge.
+    ``scope`` restricts which modules a finding may be *reported in*
+    (rules filter with :meth:`in_scope`).
+    """
+
+    def check(self, index) -> Iterator[Finding]:  # type: ignore[override]
+        """Yield findings over the whole project; must not mutate it."""
+        raise NotImplementedError
+
+    def in_scope(self, module: str) -> bool:
+        if self.scope is None:
+            return True
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+    def finding_at(self, path: str, line: int, message: str, col: int = 1) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            severity=self.severity,
+        )
+
+
+#: All registered rule classes (per-file and project), keyed by rule id.
 _REGISTRY: dict[str, Type[Rule]] = {}
 
 
@@ -92,16 +128,42 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 
 def all_rule_classes() -> dict[str, Type[Rule]]:
     """Registered rules (id -> class), loading the built-in set."""
-    # Importing the rules package registers every built-in rule.
+    # Importing the rules packages registers every built-in rule.
     import repro.lint.rules  # noqa: F401
+    import repro.lint.project.rules  # noqa: F401
 
     return dict(_REGISTRY)
 
 
-def instantiate(config, select: Optional[Iterable[str]] = None) -> list[Rule]:
-    """Build rule instances enabled under ``config``.
+def is_project_rule(rule_cls: Type[Rule]) -> bool:
+    return issubclass(rule_cls, ProjectRule)
 
-    ``select`` (CLI override) wins over config select/ignore.
+
+def validate_rule_ids(rule_ids: Iterable[str]) -> None:
+    """Raise :class:`RegistryError` (with a "did you mean" hint) for ids
+    that name no registered rule of either kind."""
+    classes = all_rule_classes()
+    unknown = sorted(set(r for r in rule_ids if r not in classes))
+    if not unknown:
+        return
+    hints = []
+    for rule_id in unknown:
+        close = difflib.get_close_matches(rule_id, classes, n=1, cutoff=0.4)
+        hints.append(
+            f"{rule_id!r} (did you mean {close[0]!r}?)" if close else repr(rule_id)
+        )
+    raise RegistryError(f"unknown rule id(s): {', '.join(hints)}")
+
+
+def instantiate(
+    config, select: Optional[Iterable[str]] = None, *, project: bool = False
+) -> list[Rule]:
+    """Build rule instances of one kind enabled under ``config``.
+
+    ``select`` (CLI override) wins over config select/ignore.  Ids are
+    validated against the union of both kinds, so selecting a project
+    rule while instantiating the per-file pass is not an error — it just
+    contributes nothing to this pass.
     """
     classes = all_rule_classes()
     if select is not None:
@@ -109,7 +171,9 @@ def instantiate(config, select: Optional[Iterable[str]] = None) -> list[Rule]:
     else:
         wanted = config.select if config.select is not None else sorted(classes)
         wanted = [rule_id for rule_id in wanted if rule_id not in config.ignore]
-    unknown = [rule_id for rule_id in wanted if rule_id not in classes]
-    if unknown:
-        raise RegistryError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-    return [classes[rule_id](config) for rule_id in wanted]
+    validate_rule_ids(wanted)
+    return [
+        classes[rule_id](config)
+        for rule_id in wanted
+        if is_project_rule(classes[rule_id]) == project
+    ]

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 output (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what CI
+code-scanning surfaces ingest; emitting it lets repro-lint findings
+annotate pull requests without any adapter.  Only the stdlib is used:
+the document is a plain dict serialised with :mod:`json`, and the test
+suite validates it against the relevant subset of the official 2.1.0
+schema with a hand-written checker.
+
+Suppressed findings are included as results carrying a ``suppressions``
+entry of kind ``inSource`` — the SARIF way of saying "# lint: disable";
+consumers hide them by default but keep them auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.findings import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/cos02/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _result(finding: Finding, rule_index: dict[str, int], suppressed: bool) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def to_sarif(
+    findings: Iterable[Finding],
+    suppressed: Iterable[Finding],
+    rules: Iterable,
+) -> dict:
+    """Build the SARIF document for one run.
+
+    ``rules`` is the instantiated rule list (both kinds); each becomes a
+    ``reportingDescriptor`` in the driver metadata so viewers can show
+    summaries and default levels.
+    """
+    descriptors = []
+    rule_index: dict[str, int] = {}
+    for rule in sorted(rules, key=lambda r: r.id):
+        if rule.id in rule_index:
+            continue
+        rule_index[rule.id] = len(descriptors)
+        descriptors.append(
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.summary or rule.id},
+                "defaultConfiguration": {"level": _level(rule.severity)},
+            }
+        )
+    results = [_result(f, rule_index, suppressed=False) for f in findings]
+    results.extend(_result(f, rule_index, suppressed=True) for f in suppressed)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

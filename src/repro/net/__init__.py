@@ -29,6 +29,7 @@ from repro.net.traffic import (
 )
 from repro.net.sink import SinkAgent
 from repro.net.topology import chain_topology, star_topology
+from repro.net.tpwire_agent import TpwireAgent, TpwireSink
 
 __all__ = [
     "NetError",
@@ -45,6 +46,8 @@ __all__ = [
     "PoissonSource",
     "TraceDrivenSource",
     "SinkAgent",
+    "TpwireAgent",
+    "TpwireSink",
     "chain_topology",
     "star_topology",
 ]

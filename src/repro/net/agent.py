@@ -3,7 +3,7 @@
 An agent lives on a node, builds packets for the traffic its application
 (or traffic generator) asks it to send, and handles packets delivered to
 its node/port.  The TpWIRE agent of the paper is implemented in
-:mod:`repro.tpwire.agent` on top of this base class.
+:mod:`repro.net.tpwire_agent` on top of this base class.
 """
 
 from __future__ import annotations

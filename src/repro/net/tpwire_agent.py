@@ -7,6 +7,11 @@ generators call :meth:`TpwireAgent.send_payload` exactly as they would on
 a plain network agent, the payload is segmented into link messages and
 relayed by the master, and the receiving :class:`TpwireSink` records
 latency and throughput — the instrumentation behind Figures 6 and 7.
+
+These agents live in :mod:`repro.net` (not :mod:`repro.tpwire`) because
+they marry a bus-layer endpoint to network-layer :class:`Packet`
+bookkeeping: the layer DAG lets ``net`` build on ``tpwire``, never the
+reverse.
 """
 
 from __future__ import annotations

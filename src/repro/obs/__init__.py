@@ -17,7 +17,7 @@ from repro.obs.errors import (
 )
 from repro.obs.records import TraceEvent, dump_jsonl
 from repro.obs.tracer import Tracer, SpanHandle
-from repro.obs.metrics import Counter, MetricRegistry, HISTOGRAM_PERCENTILES
+from repro.obs.metrics import Counter, MetricRegistry
 from repro.obs.vcd import VcdRecorder
 from repro.obs.export import (
     BENCH_SCHEMA,
@@ -42,7 +42,6 @@ __all__ = [
     "SpanHandle",
     "Counter",
     "MetricRegistry",
-    "HISTOGRAM_PERCENTILES",
     "VcdRecorder",
     "BENCH_SCHEMA",
     "bench_payload",

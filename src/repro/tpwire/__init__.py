@@ -48,7 +48,6 @@ from repro.tpwire.transport import (
     PollStrategy,
     LinkMessage,
 )
-from repro.tpwire.agent import TpwireAgent, TpwireSink
 from repro.tpwire.spi import (
     SpiController,
     SpiPeripheral,
@@ -93,8 +92,6 @@ __all__ = [
     "MasterPoller",
     "PollStrategy",
     "LinkMessage",
-    "TpwireAgent",
-    "TpwireSink",
     "SpiController",
     "SpiPeripheral",
     "SpiSysCommand",

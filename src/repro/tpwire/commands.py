@@ -20,12 +20,7 @@ from __future__ import annotations
 
 import enum
 
-
-#: Highest addressable real node id.
-MAX_NODE_ID = 126
-
-#: The virtual broadcast node (Sec. 3.1: "the 128th node").
-BROADCAST_NODE_ID = 127
+from repro.tpwire.constants import BROADCAST_NODE_ID, MAX_NODE_ID
 
 
 class Command(enum.IntEnum):

@@ -1,0 +1,58 @@
+"""The single source of truth for TpWIRE protocol constants.
+
+Three independent models implement the same protocol — the packet-level
+model in this package, the bit-level PHY in :mod:`repro.hw`, and the
+NS-2-style network layer in :mod:`repro.net` — exactly the paper's
+methodology (SystemC, NS-2 and the middleware stack all modelling one
+bus).  The models only stay mutually consistent if every frame width,
+CRC parameter and timeout bit count has exactly one definition.  This
+module is that definition; ``repro.tpwire.frames``/``crc``/``timing``/
+``commands`` re-export from here, and the ``proto-const-drift`` project
+lint rule rejects any other module that rebinds one of these names to a
+literal instead of tracing back to this file.
+
+Values follow Section 3.1 of the paper (frame layout: Tables 1 and 2).
+"""
+
+from __future__ import annotations
+
+#: Total frame length in bits, both directions (start bit included).
+FRAME_BITS = 16
+
+#: Bits of the DATA field.
+DATA_BITS = 8
+
+#: TX CMD field width.
+CMD_BITS = 3
+
+#: RX TYPE field width.
+TYPE_BITS = 2
+
+#: Trailing CRC bits of every frame.
+CRC_BITS = 4
+
+#: Leading serial bits before the DATA byte: start + CMD[2:0] (TX) or
+#: start + INT + TYPE[1:0] (RX) — four either way.
+LEAD_BITS = 4
+
+#: Serial bits that are not the DATA byte: start + cmd/typ+int + crc.
+HEADER_BITS = FRAME_BITS - DATA_BITS
+
+#: CRC-4 generator polynomial x^4 + x + 1, including the leading x^4 term.
+CRC4_POLY = 0b10011
+
+#: Width of the CRC remainder in bits (same field as ``CRC_BITS``; kept
+#: as the historical name the CRC module exports).
+CRC4_WIDTH = 4
+
+#: Highest addressable real node id (7-bit address space).
+MAX_NODE_ID = 126
+
+#: The virtual broadcast node (Sec. 3.1: "the 128th node").
+BROADCAST_NODE_ID = 127
+
+#: Sec. 3.1: a slave resets after this many bit periods without a valid TX.
+RESET_TIMEOUT_BITS = 2048
+
+#: Sec. 3.1: the reset pulse stays active for this many bit periods.
+RESET_ACTIVE_BITS = 33

@@ -9,11 +9,7 @@ The CRC is a plain polynomial remainder, MSB-first, zero initial value.
 
 from __future__ import annotations
 
-#: Generator polynomial x^4 + x + 1, including the leading x^4 term.
-CRC4_POLY = 0b10011
-
-#: Width of the CRC in bits.
-CRC4_WIDTH = 4
+from repro.tpwire.constants import CRC4_POLY, CRC4_WIDTH
 
 
 def crc4(value: int, nbits: int) -> int:

@@ -18,11 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.tpwire.commands import Command, RxType
+from repro.tpwire.constants import FRAME_BITS
 from repro.tpwire.crc import crc4
 from repro.tpwire.errors import CrcMismatch, FrameError
-
-#: Total frame length in bits (both directions).
-FRAME_BITS = 16
 
 
 def _to_bits(value: int, width: int) -> list[int]:

@@ -27,26 +27,15 @@ import enum
 import math
 from dataclasses import dataclass, replace
 
-from repro.tpwire.frames import FRAME_BITS
-
-#: Sec. 3.1: slave resets after this many bit periods without a valid TX.
-RESET_TIMEOUT_BITS = 2048
-
-#: Sec. 3.1: reset stays active for this many bit periods.
-RESET_ACTIVE_BITS = 33
-
-#: Serial bits that are not the DATA byte: start + 3 cmd/typ+int + 4 crc.
-HEADER_BITS = FRAME_BITS - 8
-
-#: Leading serial bits before the DATA byte: start + CMD[2:0] (TX) or
-#: start + INT + TYPE[1:0] (RX) — four either way.
-LEAD_BITS = 4
-
-#: Trailing CRC bits.
-CRC_BITS = 4
-
-#: Bits of the DATA field.
-DATA_BITS = 8
+from repro.tpwire.constants import (
+    CRC_BITS,
+    DATA_BITS,
+    FRAME_BITS,
+    HEADER_BITS,
+    LEAD_BITS,
+    RESET_ACTIVE_BITS,
+    RESET_TIMEOUT_BITS,
+)
 
 
 class WireMode(enum.Enum):

@@ -17,7 +17,7 @@ from repro.cosim import ServerTimingModel, SimServerHost, build_bus_system
 from repro.des import Simulator
 from repro.hw import ClientBridge, ServerBridge
 from repro.net import CBRSource
-from repro.tpwire.agent import TpwireAgent, TpwireSink
+from repro.net.tpwire_agent import TpwireAgent, TpwireSink
 
 
 def t(*fields):

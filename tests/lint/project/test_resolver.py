@@ -1,0 +1,87 @@
+"""Path->module naming and import resolution."""
+
+from pathlib import Path
+
+from repro.lint.checker import module_name_for as checker_module_name_for
+from repro.lint.project.resolver import ImportResolver, module_name_for
+
+
+def test_module_name_anchors_on_repro():
+    assert module_name_for(Path("src/repro/core/clock.py")) == "repro.core.clock"
+    assert (
+        module_name_for(Path("/abs/checkout/src/repro/des/kernel.py"))
+        == "repro.des.kernel"
+    )
+
+
+def test_module_name_handles_package_init():
+    assert module_name_for(Path("src/repro/tpwire/__init__.py")) == "repro.tpwire"
+
+
+def test_module_name_anchors_on_tests_benchmarks_examples():
+    assert module_name_for(Path("tests/lint/test_x.py")) == "tests.lint.test_x"
+    assert module_name_for(Path("benchmarks/bench_core.py")) == "benchmarks.bench_core"
+    assert module_name_for(Path("examples/demo.py")) == "examples.demo"
+
+
+def test_module_name_falls_back_to_stem():
+    assert module_name_for(Path("/tmp/somewhere/fixture.py")) == "fixture"
+
+
+def test_checker_delegates_to_resolver():
+    # Single source of truth: the per-file checker re-exports the
+    # resolver's function, so the two passes cannot disagree.
+    assert checker_module_name_for is module_name_for
+
+
+def _resolver():
+    return ImportResolver(
+        {
+            "repro",
+            "repro.tpwire",
+            "repro.tpwire.constants",
+            "repro.tpwire.frames",
+            "repro.des.kernel",
+        }
+    )
+
+
+def test_project_module_longest_prefix():
+    resolver = _resolver()
+    assert resolver.project_module("repro.tpwire.constants") == "repro.tpwire.constants"
+    assert (
+        resolver.project_module("repro.tpwire.constants.FRAME_BITS")
+        == "repro.tpwire.constants"
+    )
+    assert resolver.project_module("repro.unknown") == "repro"
+    assert resolver.project_module("os.path") is None
+
+
+def test_resolve_base_absolute_and_relative():
+    resolver = _resolver()
+    assert (
+        resolver.resolve_base("repro.tpwire.frames", False, "repro.des", 0)
+        == "repro.des"
+    )
+    # from . import constants  (inside repro/tpwire/frames.py)
+    assert resolver.resolve_base("repro.tpwire.frames", False, None, 1) == "repro.tpwire"
+    # from .constants import X  (inside repro/tpwire/__init__.py)
+    assert (
+        resolver.resolve_base("repro.tpwire", True, "constants", 1)
+        == "repro.tpwire.constants"
+    )
+    # from ..des import kernel  (inside repro/tpwire/frames.py)
+    assert resolver.resolve_base("repro.tpwire.frames", False, "des", 2) == "repro.des"
+    # climbing past the root is unresolvable, not an error
+    assert resolver.resolve_base("repro", True, "x", 3) is None
+
+
+def test_resolve_from_targets_distinguishes_submodules():
+    resolver = _resolver()
+    resolved = resolver.resolve_from_targets(
+        "repro.des.kernel", False, "repro.tpwire", 0, ["frames", "TpwireError"]
+    )
+    # ``frames`` is a module (symbol None); ``TpwireError`` is a symbol
+    # of the package __init__.
+    assert ("frames", "repro.tpwire.frames", None) in resolved
+    assert ("TpwireError", "repro.tpwire", "TpwireError") in resolved

@@ -93,6 +93,7 @@ def test_load_config_reads_repo_pyproject():
     assert config.rule_options["wall-clock"]["allow-modules"] == [
         "repro.core.clock",
         "repro.des.realtime",
+        "repro.lint.project.timing",
     ]
 
 

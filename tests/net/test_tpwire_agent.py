@@ -4,7 +4,7 @@ import pytest
 
 from repro.des import Simulator
 from repro.net import CBRSource
-from repro.tpwire import TpwireAgent, TpwireSink
+from repro.net import TpwireAgent, TpwireSink
 from repro.tpwire.errors import TpwireError
 
 from tests.tpwire.test_transport import build_network
