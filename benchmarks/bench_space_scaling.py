@@ -1,0 +1,85 @@
+"""Tuplespace matching scalability: indexed engine vs linear scan.
+
+Sweeps the take+write churn workload across populations of 10^2..10^5
+``LindaTuple`` records for both the indexed :class:`TupleSpace` and the
+seed-replica :class:`LinearScanSpace` baseline.  The numbers land in
+``benchmarks/results/BENCH_space_scaling.json``; CI re-measures the
+10^4 point (``python -m benchmarks.space_smoke --fast``) and fails if
+the indexed engine's speedup falls below the committed ≥5x claim.
+``docs/tuplespace.md`` explains the index structure these numbers
+measure.
+"""
+
+import pytest
+
+from benchmarks.space_workloads import (
+    FULL_SIZES,
+    MIN_SPEEDUP,
+    SMOKE_SIZE,
+    SPACE_FACTORIES,
+    churn_ops_for,
+    populate,
+    take_churn,
+    take_ops_per_second,
+)
+
+
+@pytest.mark.parametrize("engine", sorted(SPACE_FACTORIES))
+def test_take_churn_throughput(benchmark, engine):
+    factory = SPACE_FACTORIES[engine]
+    ops = churn_ops_for(SMOKE_SIZE)
+
+    def measured():
+        space = factory()
+        populate(space, SMOKE_SIZE)
+        take_churn(space, SMOKE_SIZE, ops)
+        return len(space)
+
+    remaining = benchmark.pedantic(measured, rounds=3, iterations=1)
+    # The write-back keeps the population constant: nothing may leak.
+    assert remaining == SMOKE_SIZE
+
+
+def test_space_scaling_baseline_artifact(report, bench_json):
+    """Sweep both engines across the population sizes and commit the
+    result as the artefact the CI smoke gate compares against."""
+    rows = []
+    for n in FULL_SIZES:
+        measured = {
+            engine: take_ops_per_second(SPACE_FACTORIES[engine], n)
+            for engine in sorted(SPACE_FACTORIES)
+        }
+        rows.append(
+            {
+                "population": n,
+                "ops": churn_ops_for(n),
+                "linear_ops_per_second": round(measured["linear-scan"]),
+                "indexed_ops_per_second": round(measured["indexed"]),
+                "speedup": round(
+                    measured["indexed"] / measured["linear-scan"], 2
+                ),
+            }
+        )
+    by_population = {row["population"]: row for row in rows}
+    derived = {
+        "smoke_population": SMOKE_SIZE,
+        "min_speedup": MIN_SPEEDUP,
+        "smoke_speedup": by_population[SMOKE_SIZE]["speedup"],
+    }
+    lines = ["Tuplespace take+write churn (best of 3):"]
+    lines.append(
+        f"  {'population':>10}  {'linear ops/s':>12}  "
+        f"{'indexed ops/s':>13}  {'speedup':>7}"
+    )
+    for row in rows:
+        lines.append(
+            f"  {row['population']:>10,d}  {row['linear_ops_per_second']:>12,d}  "
+            f"{row['indexed_ops_per_second']:>13,d}  {row['speedup']:>6.1f}x"
+        )
+    report("space_scaling", "\n".join(lines))
+    bench_json("space_scaling", rows=rows, derived=derived)
+    # The tentpole claim: at the 10^4 scale the index must beat the
+    # seed's linear scan by at least MIN_SPEEDUP.
+    assert by_population[SMOKE_SIZE]["speedup"] >= MIN_SPEEDUP
+    # And indexing must never lose at any measured size.
+    assert all(row["speedup"] >= 1.0 for row in rows)

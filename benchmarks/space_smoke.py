@@ -1,0 +1,74 @@
+"""CI smoke gate: fail when the tuplespace index loses its speedup.
+
+Re-measures the take+write churn workload at the 10^4 population for
+both the indexed :class:`TupleSpace` and the seed-replica linear-scan
+baseline, and fails the run when the indexed engine is less than
+``--min-speedup`` (default 5x) faster — the claim committed in
+``benchmarks/results/BENCH_space_scaling.json``.  The ratio gate is
+hardware-independent: both engines run on the same machine in the same
+process, so a lost speedup is a code regression, not runner noise.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m benchmarks.space_smoke --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from benchmarks.space_workloads import (
+    MIN_SPEEDUP,
+    SMOKE_SIZE,
+    SPACE_FACTORIES,
+    churn_ops_for,
+    take_ops_per_second,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="single timed pass per engine instead of best-of-3",
+    )
+    parser.add_argument(
+        "--population",
+        type=int,
+        default=SMOKE_SIZE,
+        help=f"tuples in the space while measuring (default {SMOKE_SIZE:,})",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_SPEEDUP,
+        help=f"required indexed/linear throughput ratio (default {MIN_SPEEDUP})",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.fast else 3
+    ops = churn_ops_for(args.population)
+    measured = {
+        engine: take_ops_per_second(
+            SPACE_FACTORIES[engine], args.population, ops=ops, repeats=repeats
+        )
+        for engine in sorted(SPACE_FACTORIES)
+    }
+    speedup = measured["indexed"] / measured["linear-scan"]
+    verdict = "ok" if speedup >= args.min_speedup else "REGRESSED"
+    for engine in sorted(measured):
+        print(
+            f"{engine:<12} {measured[engine]:>12,.0f} take+write ops/s "
+            f"({args.population:,} tuples, {ops} ops)"
+        )
+    print(
+        f"{'speedup':<12} {speedup:>11,.1f}x "
+        f"(floor {args.min_speedup:.1f}x) {verdict}"
+    )
+    return 0 if speedup >= args.min_speedup else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

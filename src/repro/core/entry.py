@@ -66,6 +66,19 @@ def entry_fields(entry: Entry) -> dict[str, Any]:
     }
 
 
+def iter_constrained_fields(entry: Entry):
+    """Yield the ``(name, value)`` pairs a template actually constrains.
+
+    For a stored entry this is every public field with a value; for a
+    template it is the non-``None`` (non-wildcard) fields, in the
+    deterministic order the instance assigned them — the matching
+    engine's per-field equality index keys off exactly these pairs.
+    """
+    for name, value in vars(entry).items():
+        if value is not None and not name.startswith("_"):
+            yield name, value
+
+
 def make_template(entry_class: type, **fields) -> Entry:
     """Build a template of ``entry_class`` with only ``fields`` constrained.
 

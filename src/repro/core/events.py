@@ -11,13 +11,10 @@ entries.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.core.lease import Lease
-
-_registration_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -32,15 +29,22 @@ class RemoteEvent:
 
 
 class EventRegistration:
-    """One active subscription."""
+    """One active subscription.
+
+    ``registration_id`` is assigned by the owning space from its own
+    counter (ids restart at 1 for every space), so a scenario re-run in
+    the same process logs identical ids — a process-global counter here
+    would leak state between runs and break trace determinism.
+    """
 
     def __init__(
         self,
         template: Any,
         listener: Callable[[RemoteEvent], None],
         lease: Lease,
+        registration_id: int = 0,
     ):
-        self.registration_id = next(_registration_ids)
+        self.registration_id = registration_id
         self.template = template
         self.listener = listener
         self.lease = lease

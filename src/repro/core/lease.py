@@ -22,20 +22,29 @@ FOREVER = math.inf
 
 
 class Lease:
-    """A grant of storage (or registration) for a bounded duration."""
+    """A grant of storage (or registration) for a bounded duration.
+
+    ``max_duration`` is the granting space's policy cap: renewals are
+    clamped to it exactly like the original grant, so a client cannot
+    renew its way past what :meth:`LeaseManager.grant` enforced.
+    """
 
     def __init__(
         self,
         clock: Clock,
         duration: float,
         on_cancel: Optional[Callable[["Lease"], None]] = None,
+        max_duration: float = FOREVER,
+        on_renew: Optional[Callable[["Lease"], None]] = None,
     ):
         if duration <= 0:
             raise LeaseDeniedError(f"lease duration must be positive, got {duration}")
         self.clock = clock
         self.granted_at = clock.now()
         self.expires_at = self.granted_at + duration
+        self.max_duration = max_duration
         self._on_cancel = on_cancel
+        self._on_renew = on_renew
         self.cancelled = False
 
     @property
@@ -52,13 +61,24 @@ class Lease:
     def expired(self) -> bool:
         return self.cancelled or self.clock.now() >= self.expires_at
 
-    def renew(self, duration: float) -> None:
-        """Extend the lease to ``duration`` from now."""
+    def renew(self, duration: float) -> float:
+        """Extend the lease to ``duration`` from now; returns the
+        granted duration (clamped to the grantor's ``max_duration``).
+
+        The grant window restarts at the renewal instant, so
+        :attr:`duration` reports the renewed term, not the total
+        lifetime accumulated across renewals.
+        """
         if self.expired:
             raise LeaseExpiredError("cannot renew an expired lease")
         if duration <= 0:
             raise LeaseDeniedError(f"renewal duration must be positive, got {duration}")
-        self.expires_at = self.clock.now() + duration
+        granted = min(duration, self.max_duration)
+        self.granted_at = self.clock.now()
+        self.expires_at = self.granted_at + granted
+        if self._on_renew is not None:
+            self._on_renew(self)
+        return granted
 
     def cancel(self) -> None:
         """Give the grant back early."""
@@ -89,10 +109,21 @@ class LeaseManager:
         self,
         duration: Optional[float] = None,
         on_cancel: Optional[Callable[[Lease], None]] = None,
+        on_renew: Optional[Callable[[Lease], None]] = None,
     ) -> Lease:
-        """Grant a lease of ``duration`` (clamped to the space maximum)."""
+        """Grant a lease of ``duration`` (clamped to the space maximum).
+
+        The cap travels with the lease: renewals clamp against the same
+        ``max_lease`` this grant applied.
+        """
         requested = self.default_lease if duration is None else duration
         if requested <= 0:
             raise LeaseDeniedError(f"lease duration must be positive, got {requested}")
         granted = min(requested, self.max_lease)
-        return Lease(self.clock, granted, on_cancel=on_cancel)
+        return Lease(
+            self.clock,
+            granted,
+            on_cancel=on_cancel,
+            max_duration=self.max_lease,
+            on_renew=on_renew,
+        )

@@ -262,11 +262,14 @@ class SpaceServer:
         duration = message.param_float("duration")
         if duration is None:
             raise ProtocolError("RENEW_LEASE needs a duration")
-        lease.renew(duration)
+        granted = lease.renew(duration)
         session.send(Message(
             MessageType.LEASE_ACK,
             message.request_id,
-            {"remaining": lease.remaining()},
+            # "granted" is the post-clamp term: when the space's
+            # max_lease caps the request, the client learns the real
+            # duration instead of silently over-estimating it.
+            {"remaining": lease.remaining(), "granted": granted},
         ))
 
     def _handle_ping(self, session, message: Message) -> None:

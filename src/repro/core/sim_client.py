@@ -114,6 +114,32 @@ class SimSpaceClient:
         reply = yield from self._roundtrip(MessageType.READ_IF_EXISTS, {}, template)
         return self._result(reply)
 
+    def op_renew_lease(self, lease_id: int, duration: float) -> Generator:
+        """Renew a server-held lease; returns the ack's lease terms.
+
+        ``granted`` is the post-clamp term the server actually granted —
+        when the space caps renewals (``max_lease``), it is shorter than
+        ``duration`` and the board must schedule its next heartbeat from
+        it, not from what it asked for.
+        """
+        reply = yield from self._roundtrip(
+            MessageType.RENEW_LEASE,
+            {"lease_id": lease_id, "duration": duration},
+        )
+        self._expect(reply, MessageType.LEASE_ACK)
+        return {
+            "remaining": reply.param_float("remaining"),
+            "granted": reply.param_float("granted"),
+        }
+
+    def op_cancel_lease(self, lease_id: int) -> Generator:
+        """Cancel a server-held lease (entry or notify registration)."""
+        reply = yield from self._roundtrip(
+            MessageType.CANCEL_LEASE, {"lease_id": lease_id}
+        )
+        self._expect(reply, MessageType.LEASE_ACK)
+        return {"remaining": reply.param_float("remaining")}
+
     def op_ping(self) -> Generator:
         reply = yield from self._roundtrip(MessageType.PING, {})
         return reply.msg_type is MessageType.PONG

@@ -105,5 +105,11 @@ class LeaseKeeper:
                     self._managed.pop(key, None)
                     continue
                 if lease.remaining() < duration * self.renew_fraction:
-                    lease.renew(duration)
+                    granted = lease.renew(duration)
                     self.renewals += 1
+                    if granted < duration:
+                        # The grantor clamped the renewal: track the term
+                        # actually granted, or every later check would
+                        # see "less than half remaining" and renew on
+                        # each heartbeat.
+                        self._managed[key] = (lease, granted)

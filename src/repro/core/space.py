@@ -13,16 +13,29 @@ server, the discrete-event co-simulation and plain unit tests.
 Stored items can be :class:`~repro.core.tuples.LindaTuple`,
 :class:`~repro.core.entry.Entry`, or anything else; templates are any
 object with a ``matches(item) -> bool`` method.
+
+Matching is indexed (:mod:`repro.core.index`): records are bucketed by
+shape so ``read``/``take``/waiter delivery touch only the candidates a
+template could match, instead of scanning the whole space, and lease
+expiry runs off a min-heap of deadlines instead of periodic O(n)
+sweeps.  The index prunes but never decides — every candidate still
+passes through ``template.matches`` — and candidate order is the
+timestamp order, so the oldest-match ("total order") semantics are
+exactly those of the original linear scan.  See ``docs/tuplespace.md``.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
+import itertools
+import math
 from typing import Any, Callable, Optional
 
 from repro.core.clock import Clock, SystemClock
 from repro.core.errors import SpaceError, TransactionError
 from repro.core.events import EventRegistration, RemoteEvent
+from repro.core.index import ItemIndex, TemplateTable
 from repro.core.lease import FOREVER, Lease, LeaseManager
 
 
@@ -100,8 +113,12 @@ class TupleSpace:
         self.leases = LeaseManager(self.clock, max_lease, default_lease)
         self._records: dict[int, _Record] = {}
         self._seq = 0
-        self._waiters: list[Waiter] = []
-        self._registrations: list[EventRegistration] = []
+        self._index = ItemIndex()
+        #: (expires_at, seq) deadlines; lazily invalidated on renew/cancel
+        self._expiry_heap: list[tuple[float, int]] = []
+        self._waiters = TemplateTable()
+        self._registrations = TemplateTable()
+        self._registration_ids = itertools.count(1)
         self.stats = SpaceStats()
         #: storage observers (e.g. the persistence journal); each gets
         #: ``item_stored(seq, item, expires_at)`` / ``item_dropped(seq)``.
@@ -117,6 +134,8 @@ class TupleSpace:
                            "expirations", "notifications")
             }
             self._obs_items = metrics.gauge(f"{name}.items")
+            self._obs_buckets = metrics.gauge(f"{name}.index_buckets")
+            self._obs_heap = metrics.gauge(f"{name}.expiry_heap")
 
     def _obs_op(self, counter: str, event: str, **fields) -> None:
         """Record one space operation (no-op when uninstrumented)."""
@@ -128,6 +147,8 @@ class TupleSpace:
     def _obs_depth(self) -> None:
         if self.obs is not None:
             self._obs_items.set(len(self))
+            self._obs_buckets.set(self._index.bucket_count())
+            self._obs_heap.set(len(self._expiry_heap))
 
     # -- write -------------------------------------------------------------
 
@@ -139,10 +160,16 @@ class TupleSpace:
         self._seq += 1
         record = _Record(self._seq, item, None)
         record.lease = self.leases.grant(
-            lease, on_cancel=lambda _l, rec=record: self._drop(rec)
+            lease,
+            on_cancel=lambda _l, rec=record: self._drop(rec),
+            on_renew=lambda l, seq=record.seq: self._reschedule_expiry(seq, l),
         )
         record.txn_owner = txn
         self._records[record.seq] = record
+        self._index.add(record)
+        expires_at = record.lease.expires_at
+        if not math.isinf(expires_at):
+            heapq.heappush(self._expiry_heap, (expires_at, record.seq))
         if txn is not None:
             txn._written.append(record)
         self.stats.writes += 1
@@ -221,7 +248,9 @@ class TupleSpace:
                 self._obs_op("reads", "read", seq=record.seq, waited=False)
             callback(record.item)
             return waiter
-        self._waiters.append(waiter)
+        self._waiters.add(waiter)
+        if txn is not None:
+            txn._waiters.append(waiter)
         return waiter
 
     # -- notify ------------------------------------------------------------------
@@ -234,24 +263,23 @@ class TupleSpace:
     ) -> EventRegistration:
         """Subscribe ``listener`` to future writes matching ``template``."""
         granted = self.leases.grant(lease)
-        registration = EventRegistration(template, listener, granted)
-        self._registrations.append(registration)
+        registration = EventRegistration(
+            template, listener, granted,
+            registration_id=next(self._registration_ids),
+        )
+        self._registrations.add(registration)
         return registration
 
     # -- maintenance -----------------------------------------------------------------
 
     def sweep_expired(self) -> int:
         """Drop every lease-expired record; returns how many were dropped."""
-        expired = [r for r in self._records.values() if r.lease.expired]
-        for record in expired:
-            self._drop(record)
-            self.stats.expirations += 1
-            self._obs_op("expirations", "expire", seq=record.seq)
-        self._waiters = [w for w in self._waiters if w.active]
-        self._registrations = [r for r in self._registrations if r.active]
-        if expired:
+        dropped = self._expire_due()
+        self._waiters.prune()
+        self._registrations.prune()
+        if dropped:
             self._obs_depth()
-        return len(expired)
+        return dropped
 
     def __len__(self) -> int:
         """Number of live, publicly visible items."""
@@ -263,7 +291,7 @@ class TupleSpace:
 
     @property
     def pending_waiters(self) -> int:
-        return sum(1 for w in self._waiters if w.active)
+        return self._waiters.count_active()
 
     # -- internals ----------------------------------------------------------------
 
@@ -273,32 +301,56 @@ class TupleSpace:
             raise TransactionError(f"transaction is {txn.state.value}, not active")
 
     def _visible(self, record: _Record, txn) -> bool:
-        if record.lease.expired:
-            return False
         if record.taken_by is not None:
             return False
         if record.txn_owner is not None and record.txn_owner is not txn:
+            return False
+        if record.lease.expired:
             return False
         return True
 
     def _find(self, template, txn) -> Optional[_Record]:
         """Oldest visible matching record (total order by timestamp)."""
-        expired = []
-        found = None
-        for record in self._records.values():  # dict preserves seq order
-            if record.lease.expired:
-                expired.append(record)
-                continue
-            if not self._visible(record, txn):
-                continue
-            if template.matches(record.item):
-                found = record
-                break
-        for record in expired:
+        self._expire_due()
+        candidates = self._index.candidates(template)
+        if candidates is None:
+            # Unknown template discipline: only the full scan is safe.
+            candidates = self._records.values()
+        for record in candidates:
+            if self._visible(record, txn) and template.matches(record.item):
+                return record
+        return None
+
+    def _expire_due(self) -> int:
+        """Drop every record whose lease deadline has passed.
+
+        Deadlines sit in a min-heap of ``(expires_at, seq)``; renewals
+        push a fresh entry and leave the stale one to be recognised and
+        skipped when popped (lazy invalidation), so expiry costs
+        O(log n) per record instead of an O(n) sweep.
+        """
+        heap = self._expiry_heap
+        if not heap:
+            return 0
+        now = self.clock.now()
+        dropped = 0
+        while heap and heap[0][0] <= now:
+            _when, seq = heapq.heappop(heap)
+            record = self._records.get(seq)
+            if record is None:
+                continue  # already dropped (taken, cancelled, committed away)
+            if not record.lease.expired:
+                continue  # renewed: the renewal pushed the live deadline
             self._drop(record)
+            dropped += 1
             self.stats.expirations += 1
-            self._obs_op("expirations", "expire", seq=record.seq)
-        return found
+            self._obs_op("expirations", "expire", seq=seq)
+        return dropped
+
+    def _reschedule_expiry(self, seq: int, lease: Lease) -> None:
+        """Lease renewal hook: enter the new deadline into the heap."""
+        if seq in self._records and not math.isinf(lease.expires_at):
+            heapq.heappush(self._expiry_heap, (lease.expires_at, seq))
 
     def _consume(self, record: _Record, txn) -> None:
         if txn is None:
@@ -309,9 +361,11 @@ class TupleSpace:
 
     def _drop(self, record: _Record) -> None:
         existed = self._records.pop(record.seq, None)
-        if existed is not None and record.txn_owner is None:
-            for observer in self.observers:
-                observer.item_dropped(record.seq)
+        if existed is not None:
+            self._index.discard(record.seq)
+            if record.txn_owner is None:
+                for observer in self.observers:
+                    observer.item_dropped(record.seq)
 
     def _item_became_visible(self, record: _Record) -> None:
         """Serve waiters and notify subscribers for a newly visible item.
@@ -327,14 +381,23 @@ class TupleSpace:
 
         Read waiters all observe the item; the first matching take waiter
         consumes it and stops delivery.  Returns True when consumed.
+
+        A waiter whose transaction resolved while it was blocked is
+        skipped and deactivated: consuming into a dead transaction would
+        strand the item in a ``_taken`` list nothing will ever restore.
         """
-        self._waiters = [w for w in self._waiters if w.active]
-        for waiter in list(self._waiters):
+        for waiter in self._waiters.candidates_for(record.item):
             if not waiter.active:
+                self._waiters.discard(waiter)
+                continue
+            if waiter.txn is not None and not waiter.txn.is_active:
+                waiter.active = False
+                self._waiters.discard(waiter)
                 continue
             if not waiter.template.matches(record.item):
                 continue
             waiter.active = False
+            self._waiters.discard(waiter)
             if waiter.mode is WaitMode.READ:
                 self.stats.reads += 1
                 self._obs_op("reads", "read", seq=record.seq, waited=True)
@@ -349,8 +412,10 @@ class TupleSpace:
         return False
 
     def _fire_notifications(self, record: _Record) -> None:
-        self._registrations = [r for r in self._registrations if r.active]
-        for registration in self._registrations:
+        for registration in self._registrations.candidates_for(record.item):
+            if not registration.active:
+                self._registrations.discard(registration)
+                continue
             if registration.template.matches(record.item):
                 registration.deliver(record.seq, record.item)
                 self.stats.notifications += 1
@@ -363,6 +428,7 @@ class TupleSpace:
     # -- transaction resolution (called by Transaction) ---------------------------
 
     def _commit_txn(self, txn) -> None:
+        self._retire_txn_waiters(txn)
         for record in txn._taken:
             self._drop(record)
         for record in txn._written:
@@ -372,6 +438,7 @@ class TupleSpace:
                 self._item_became_visible(record)
 
     def _abort_txn(self, txn) -> None:
+        self._retire_txn_waiters(txn)
         for record in txn._written:
             self._drop(record)
         for record in txn._taken:
@@ -384,6 +451,13 @@ class TupleSpace:
                 continue
             record.taken_by = None
             self._item_became_visible(record)
+
+    def _retire_txn_waiters(self, txn) -> None:
+        """A resolved transaction's blocked waiters can never deliver."""
+        for waiter in txn._waiters:
+            if waiter.active:
+                waiter.active = False
+                self._waiters.discard(waiter)
 
     def __repr__(self) -> str:
         return f"TupleSpace({self.name!r}, items={len(self)})"

@@ -41,6 +41,10 @@ class Transaction:
         self.state = TransactionState.ACTIVE
         self._written: list = []
         self._taken: list = []
+        #: blocked waiters registered under this transaction; the space
+        #: deactivates them when the transaction resolves, so none can
+        #: deliver into a dead transaction.
+        self._waiters: list = []
 
     @property
     def is_active(self) -> bool:

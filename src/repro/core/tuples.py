@@ -84,12 +84,22 @@ class TupleTemplate:
     False
     """
 
-    __slots__ = ("patterns",)
+    __slots__ = ("patterns", "first_bound")
 
     def __init__(self, *patterns: Any):
         if not patterns:
             raise ValueError("a template needs at least one pattern")
         self.patterns = tuple(patterns)
+        #: ``(position, value)`` of the first actual (a concrete value,
+        #: neither ANY nor a type), or ``None`` for all-wildcard
+        #: templates.  The matching engine's hash index keys candidate
+        #: lookups off this field.
+        self.first_bound = None
+        for position, pattern in enumerate(patterns):
+            if pattern is ANY or isinstance(pattern, type):
+                continue
+            self.first_bound = (position, pattern)
+            break
 
     @property
     def arity(self) -> int:

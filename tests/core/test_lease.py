@@ -48,6 +48,43 @@ class TestLease:
         with pytest.raises(LeaseDeniedError):
             lease.renew(-1.0)
 
+    def test_renew_restarts_duration_window(self, clock):
+        """Regression: ``renew`` moved ``expires_at`` without touching
+        ``granted_at``, so ``duration`` silently inflated to the whole
+        lifetime accumulated across renewals (here 25 s instead of 20)."""
+        lease = Lease(clock, 10.0)
+        clock.advance(5.0)
+        lease.renew(20.0)
+        assert lease.duration == pytest.approx(20.0)
+        assert lease.granted_at == pytest.approx(5.0)
+
+    def test_renew_clamped_to_grant_cap(self, clock):
+        """Regression: renewals ignored the ``max_lease`` policy the
+        original grant enforced, so a client could renew past the cap."""
+        manager = LeaseManager(clock, max_lease=10.0)
+        lease = manager.grant(10.0)
+        clock.advance(1.0)
+        granted = lease.renew(1000.0)
+        assert granted == pytest.approx(10.0)
+        assert lease.remaining() == pytest.approx(10.0)
+
+    def test_renew_within_cap_unclamped(self, clock):
+        manager = LeaseManager(clock, max_lease=100.0)
+        lease = manager.grant(10.0)
+        assert lease.renew(50.0) == pytest.approx(50.0)
+        assert lease.remaining() == pytest.approx(50.0)
+
+    def test_renew_fires_hook(self, clock):
+        renewed = []
+        lease = Lease(clock, 10.0, on_renew=renewed.append)
+        lease.renew(5.0)
+        assert renewed == [lease]
+
+    def test_direct_lease_has_no_cap(self, clock):
+        lease = Lease(clock, 10.0)
+        lease.renew(1e6)
+        assert lease.remaining() == pytest.approx(1e6)
+
     def test_cancel_runs_hook_once(self, clock):
         calls = []
         lease = Lease(clock, 10.0, on_cancel=calls.append)

@@ -74,6 +74,24 @@ class TestLeaseKeeper:
         sim.run(until=20.0)
         assert len(keeper._managed) == 0
 
+    def test_clamped_renewal_reschedules_from_granted_term(self, world):
+        """A grantor may clamp renewals below the managed duration; the
+        keeper must then heartbeat against the term actually granted,
+        not renew on every single check forever after."""
+        sim, space = world
+        from repro.core.lease import Lease
+
+        keeper = LeaseKeeper(sim, check_interval=1.0)
+        # Initial term 50 s, but the grantor caps every renewal at 10 s.
+        lease = Lease(space.clock, 50.0, max_duration=10.0)
+        keeper.manage(lease)
+        sim.run(until=41.0)
+        assert not lease.expired
+        # First renewal near t=26 (remaining < 25), then one per ~6 s
+        # against the 10 s granted term — not one per 1 s check.
+        assert 1 <= keeper.renewals <= 5
+        assert keeper._managed[id(lease)][1] == 10.0
+
     def test_validation(self, world):
         sim, _space = world
         with pytest.raises(ValueError):

@@ -181,6 +181,7 @@ class TestLeaseOps:
             MessageType.RENEW_LEASE, 2, {"lease_id": lease_id, "duration": 60},
         ))
         assert session.last.param_float("remaining") == pytest.approx(60.0)
+        assert session.last.param_float("granted") == pytest.approx(60.0)
 
     def test_unknown_lease_id_errors(self, setup):
         _clock, _space, server, session = setup

@@ -45,10 +45,13 @@ class DirectServerLoop:
                 self.server.handle(self, message)
 
 
-def build(timing=None):
+def build(timing=None, max_lease=None):
     sim = Simulator()
     codec = XmlCodec()
-    space = TupleSpace(clock=SimClock(sim))
+    if max_lease is None:
+        space = TupleSpace(clock=SimClock(sim))
+    else:
+        space = TupleSpace(clock=SimClock(sim), max_lease=max_lease)
     server = SpaceServer(space, codec, timers=SimTimers(sim))
     tx = SharedMemoryChannel(sim, name="tx")
     rx = SharedMemoryChannel(sim, name="rx")
@@ -135,6 +138,61 @@ class TestOperations:
         sim.spawn(program())
         sim.run()
         assert caught and "entry" in caught[0]
+
+
+class TestLeaseOps:
+    def test_renew_lease_restarts_term(self):
+        sim, space, client = build()
+        results = {}
+
+        def program():
+            ack = yield from client.op_write(t("a", 1), lease=30.0)
+            yield sim.timeout(20.0)
+            results["renewed"] = yield from client.op_renew_lease(
+                ack["lease_id"], 30.0
+            )
+            # Past the original expiry (t=30) but inside the renewed term.
+            yield sim.timeout(15.0)
+            results["read"] = yield from client.op_read_if_exists(tpl("a", int))
+
+        sim.spawn(program())
+        sim.run()
+        assert results["renewed"]["granted"] == 30.0
+        assert results["renewed"]["remaining"] == pytest.approx(30.0, abs=1.0)
+        assert results["read"] == t("a", 1)
+
+    def test_renew_lease_reports_clamped_grant(self):
+        sim, _space, client = build(max_lease=20.0)
+        results = {}
+
+        def program():
+            ack = yield from client.op_write(t("a", 1), lease=10.0)
+            results["renewed"] = yield from client.op_renew_lease(
+                ack["lease_id"], 500.0
+            )
+
+        sim.spawn(program())
+        sim.run()
+        # The server clamps to max_lease and the ack says so.
+        assert results["renewed"]["granted"] == 20.0
+        assert results["renewed"]["remaining"] == pytest.approx(20.0, abs=1.0)
+
+    def test_cancel_lease_drops_entry(self):
+        sim, space, client = build()
+        results = {}
+
+        def program():
+            ack = yield from client.op_write(t("a", 1), lease=60.0)
+            results["cancelled"] = yield from client.op_cancel_lease(
+                ack["lease_id"]
+            )
+            results["read"] = yield from client.op_read_if_exists(tpl("a", int))
+
+        sim.spawn(program())
+        sim.run()
+        assert results["cancelled"]["remaining"] == 0.0
+        assert results["read"] is None
+        assert len(space) == 0
 
 
 class TestTimingModel:

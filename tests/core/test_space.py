@@ -4,7 +4,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import ANY, LindaTuple, ManualClock, TupleSpace, TupleTemplate
+from repro.core import (
+    ANY,
+    Entry,
+    LindaTuple,
+    ManualClock,
+    Transaction,
+    TupleSpace,
+    TupleTemplate,
+)
 from repro.core.errors import SpaceError
 from repro.core.space import WaitMode
 
@@ -214,6 +222,130 @@ class TestNotify:
         a = space.notify(tpl("a"), lambda e: None)
         b = space.notify(tpl("b"), lambda e: None)
         assert a.registration_id != b.registration_id
+
+    def test_registration_ids_are_per_space(self, clock):
+        """Regression: the id counter was process-global, so the ids a
+        run observed depended on every space created before it — two
+        identical runs in one process logged different ``registration=``
+        ids and broke run-twice trace determinism."""
+        first = TupleSpace(clock=clock)
+        second = TupleSpace(clock=clock)
+        assert first.notify(tpl("a"), lambda e: None).registration_id == 1
+        assert second.notify(tpl("a"), lambda e: None).registration_id == 1
+        assert first.notify(tpl("b"), lambda e: None).registration_id == 2
+
+
+class TestTransactionWaiters:
+    def test_aborted_txn_take_waiter_does_not_steal_the_item(self, space):
+        """Regression: a blocked take-waiter registered under a
+        transaction used to consume the next matching write even after
+        the transaction aborted — the record landed in the dead
+        transaction's ``_taken`` list and the tuple was lost forever."""
+        txn = Transaction(space)
+        got = []
+        space.register_waiter(tpl("job", int), WaitMode.TAKE, got.append, txn=txn)
+        txn.abort()
+        space.write(t("job", 1))
+        assert got == []
+        # The tuple survived and is still takeable by everyone else.
+        assert space.take_if_exists(tpl("job", int)) == t("job", 1)
+
+    def test_committed_txn_take_waiter_is_retired_too(self, space):
+        txn = Transaction(space)
+        got = []
+        space.register_waiter(tpl("job", int), WaitMode.TAKE, got.append, txn=txn)
+        txn.commit()
+        space.write(t("job", 1))
+        assert got == []
+        assert len(space) == 1
+
+    def test_resolving_txn_deactivates_its_waiters(self, space):
+        txn = Transaction(space)
+        space.register_waiter(tpl("job", int), WaitMode.TAKE, lambda i: None, txn=txn)
+        assert space.pending_waiters == 1
+        txn.abort()
+        assert space.pending_waiters == 0
+
+    def test_live_txn_waiter_still_consumes(self, space):
+        txn = Transaction(space)
+        got = []
+        space.register_waiter(tpl("job", int), WaitMode.TAKE, got.append, txn=txn)
+        space.write(t("job", 1))
+        assert got == [t("job", 1)]
+        assert len(space) == 0          # provisionally taken: invisible
+        txn.abort()
+        assert len(space) == 1          # abort restores it
+
+
+class TestIndexedMatching:
+    """The index prunes candidates; these pin the cases where pruning
+    must fall back to wider buckets to stay exact."""
+
+    def test_wildcard_only_template_scans_arity_bucket(self, space):
+        space.write(t("a", 1))
+        space.write(t("b", 2, 3))
+        assert space.read_if_exists(tpl(ANY, ANY)) == t("a", 1)
+
+    def test_unhashable_stored_field_still_matched_by_value(self, space):
+        space.write(t("cfg", [1, 2]))
+        assert space.take_if_exists(tpl("cfg", ANY)) == t("cfg", [1, 2])
+
+    def test_unhashable_template_actual_falls_back_to_arity_scan(self, space):
+        space.write(t("cfg", [1, 2]))
+        space.write(t("cfg", [3]))
+        assert space.read_if_exists(tpl("cfg", [3])) == t("cfg", [3])
+
+    def test_bound_later_field_prunes(self, space):
+        space.write(t("job", 1, "low"))
+        space.write(t("job", 2, "high"))
+        assert space.take_if_exists(tpl(ANY, ANY, "high")) == t("job", 2, "high")
+
+    def test_template_subclass_with_custom_matches_full_scans(self, space):
+        class EveryOther(TupleTemplate):
+            def matches(self, item):
+                return isinstance(item, LindaTuple) and item[0] % 2 == 0
+
+        space.write(t(1,))
+        space.write(t(2,))
+        assert space.read_if_exists(EveryOther(ANY)) == t(2,)
+
+    def test_entry_subclass_matched_through_parent_template(self, space):
+        class Base(Entry):
+            def __init__(self, kind=None):
+                self.kind = kind
+
+        class Derived(Base):
+            def __init__(self, kind=None, extra=None):
+                super().__init__(kind)
+                self.extra = extra
+
+        space.write(Derived("x", 7))
+        found = space.read_if_exists(Base(kind="x"))
+        assert isinstance(found, Derived) and found.extra == 7
+
+    def test_bare_entry_template_matches_any_entry(self, space):
+        class Ping(Entry):
+            def __init__(self, n=None):
+                self.n = n
+
+        space.write(Ping(1))
+        assert space.read_if_exists(Entry()) is not None
+
+    def test_opaque_items_need_opaque_templates(self, space):
+        class Anything:
+            def matches(self, item):
+                return isinstance(item, str)
+
+        space.write("just a string")
+        assert space.read_if_exists(tpl(ANY)) is None
+        assert space.take_if_exists(Anything()) == "just a string"
+
+    def test_renewed_forever_lease_enters_expiry_tracking(self, space, clock):
+        lease = space.write(t("a", 1))     # FOREVER: not heap-tracked
+        lease.renew(5.0)                   # now finite: must expire
+        clock.advance(6.0)
+        assert space.read_if_exists(tpl("a", int)) is None
+        assert space.stats.expirations == 1
 
 
 class TestMixedItems:

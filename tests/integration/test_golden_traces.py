@@ -21,6 +21,17 @@ import pathlib
 
 import pytest
 
+from repro.core import (
+    ANY,
+    LindaTuple,
+    ManualClock,
+    Message,
+    MessageType,
+    SpaceServer,
+    TupleSpace,
+    TupleTemplate,
+    XmlCodec,
+)
 from repro.cosim.scenarios import CaseStudyConfig, CaseStudyScenario, ValidationScenario
 from repro.obs import Observability
 
@@ -95,6 +106,50 @@ def test_table4_baseline_trace_and_metrics_are_deterministic():
     assert first_trace == second_trace
     assert first_metrics == second_metrics
     assert first_result == second_result
+
+
+def test_notify_scenario_trace_and_metrics_are_deterministic():
+    """The Table-4 determinism contract extended to a notify-using
+    workload: two identical in-process runs must log identical
+    ``registration=`` ids.  Regression: registration ids came from a
+    process-global counter, so the second run's notify events carried
+    different ids and the traces diverged."""
+
+    class _SinkSession:
+        def __init__(self):
+            self.sent = []
+
+        def send(self, message):
+            self.sent.append(message)
+
+    def run_once():
+        obs = Observability(trace_categories=frozenset({"space", "server"}))
+        clock = ManualClock()
+        space = TupleSpace(clock=clock, name="notifyspace", obs=obs)
+        server = SpaceServer(space, XmlCodec(), obs=obs)
+        session = _SinkSession()
+        server.handle(session, Message(
+            MessageType.NOTIFY_REGISTER, 1, {}, TupleTemplate("alarm", ANY)
+        ))
+        server.handle(session, Message(
+            MessageType.WRITE, 2, {}, LindaTuple("alarm", "overheat")
+        ))
+        clock.advance(1.0)
+        server.handle(session, Message(
+            MessageType.WRITE, 3, {}, LindaTuple("alarm", "overcurrent")
+        ))
+        notify_ids = [
+            m.param_int("registration_id")
+            for m in session.sent
+            if m.msg_type is MessageType.NOTIFY_EVENT
+        ]
+        return obs.tracer.to_jsonl(), obs.metrics.summary(), notify_ids
+
+    first_trace, first_metrics, first_ids = run_once()
+    second_trace, second_metrics, second_ids = run_once()
+    assert first_ids == second_ids == [1, 1]
+    assert first_trace == second_trace
+    assert first_metrics == second_metrics
 
 
 def test_goldens_are_valid_jsonl():
