@@ -54,7 +54,7 @@ class LocalConnection:
             registry.bind("SpaceServer", server, exposed=["handle"])
         self._proxy = registry.lookup("SpaceServer")
         self._parser = StreamParser(self.codec)
-        self._rx = bytearray()
+        self._rx = bytearray()  # lint: guarded-by=self._lock
         self._lock = threading.Lock()
         self.closed = False
         self._session = _ProxySession(self.codec, self._deliver)
@@ -106,7 +106,11 @@ class SocketSpaceServer:
         self.address = self._listener.getsockname()
         self._running = False
         self._accept_thread: Optional[threading.Thread] = None
-        self._client_threads: list[threading.Thread] = []
+        # Live client threads and their sockets; pruned as connections
+        # finish and drained by stop().
+        self._threads_lock = threading.Lock()
+        self._client_threads: list[threading.Thread] = []  # lint: guarded-by=self._threads_lock
+        self._client_conns: list[socket.socket] = []  # lint: guarded-by=self._threads_lock
         self.connections_accepted = 0
 
     # -- lifecycle -----------------------------------------------------------
@@ -120,12 +124,47 @@ class SocketSpaceServer:
         )
         self._accept_thread.start()
 
-    def stop(self) -> None:
+    def stop(self, join_timeout: float = 2.0) -> None:
+        """Stop accepting, unblock client threads, join them all.
+
+        Client sockets are shut down first so threads blocked in
+        ``recv`` wake immediately; every join carries a timeout so a
+        wedged connection can never hang shutdown (the threads are
+        daemons as a last resort).
+        """
         self._running = False
+        # shutdown() before close(): merely closing the fd does not wake
+        # a thread already blocked in accept() on Linux.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        with self._threads_lock:
+            conns = list(self._client_conns)
+            self._client_conns = []
+            threads = [t for t in self._client_threads if t.is_alive()]
+            self._client_threads = []
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        # Joins happen outside _threads_lock on purpose: joining while
+        # holding it would block the accept loop (and trip the
+        # blocking-under-lock lint rule).
+        accept = self._accept_thread
+        if accept is not None:
+            accept.join(timeout=join_timeout)
+        for thread in threads:
+            thread.join(timeout=join_timeout)
 
     def __enter__(self) -> "SocketSpaceServer":
         self.start()
@@ -149,7 +188,18 @@ class SocketSpaceServer:
                 name="space-server-conn",
                 daemon=True,
             )
-            self._client_threads.append(thread)
+            with self._threads_lock:
+                # Prune finished threads / closed sockets as we go so
+                # the lists stay bounded by the number of *live*
+                # connections, not the all-time total.
+                self._client_threads = [
+                    t for t in self._client_threads if t.is_alive()
+                ]
+                self._client_conns = [
+                    c for c in self._client_conns if c.fileno() != -1
+                ]
+                self._client_threads.append(thread)
+                self._client_conns.append(conn)
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
@@ -159,8 +209,13 @@ class SocketSpaceServer:
 
         def sink(data: bytes) -> None:
             with send_lock:
+                # Serialising writes to this one socket is the whole
+                # point of send_lock (dispatch vs timer threads would
+                # otherwise interleave frames); it is per-connection,
+                # never taken together with another lock, and the peer
+                # draining its end bounds the stall.
                 try:
-                    conn.sendall(data)
+                    conn.sendall(data)  # lint: disable=blocking-under-lock
                 except OSError:
                     pass
 

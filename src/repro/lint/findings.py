@@ -31,6 +31,11 @@ class Finding:
     col: int
     message: str
     severity: Severity = Severity.ERROR
+    #: Optional witness path as ``((line, note), ...)`` pairs within
+    #: ``path`` — flow rules attach the acquire→leak trace here and the
+    #: SARIF writer renders it as a ``codeFlow``.  A tuple (not a list)
+    #: so the dataclass stays hashable.
+    code_flow: tuple = ()
 
     def format(self) -> str:
         return (
@@ -39,7 +44,7 @@ class Finding:
         )
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -47,6 +52,9 @@ class Finding:
             "message": self.message,
             "severity": self.severity.value,
         }
+        if self.code_flow:
+            data["code_flow"] = [list(step) for step in self.code_flow]
+        return data
 
 
 @dataclass

@@ -1,0 +1,20 @@
+"""Flow-sensitive analysis stage of :mod:`repro.lint`.
+
+The third stage of the linter (after the per-file AST rules and the
+whole-program summary pass): a per-function control-flow graph
+(:mod:`repro.lint.flow.cfg`), a generic forward-dataflow engine
+(:mod:`repro.lint.flow.dataflow`) and a lock/async fact extractor
+(:mod:`repro.lint.flow.facts`) whose distilled, JSON-serialisable facts
+ride along inside every :class:`~repro.lint.project.symbols.ModuleSummary`
+— so the concurrency rules (:mod:`repro.lint.flow.rules`) run as
+ordinary project rules with the registry, suppression, incremental-cache
+and SARIF machinery they already get for free.
+
+See ``docs/concurrency.md`` for the rule pack and the ``guarded-by``
+annotation convention, and ``docs/lint.md`` for the architecture.
+"""
+
+from repro.lint.flow.cfg import CFG, Block, build_cfg
+from repro.lint.flow.dataflow import ForwardAnalysis, run_forward
+
+__all__ = ["CFG", "Block", "build_cfg", "ForwardAnalysis", "run_forward"]

@@ -1,0 +1,489 @@
+"""Per-function control-flow graphs.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` / ``AsyncFunctionDef``
+into a :class:`CFG` of basic blocks connected by kind-tagged edges:
+
+* ``next``  — unconditional fall-through (including loop back-edges),
+* ``true`` / ``false`` — the two arms of a branch or loop test,
+* ``exc``   — the path taken when the block's *last-started* statement
+  raises.
+
+Blocks hold a list of **events** rather than raw statements, so a
+dataflow analysis never has to re-discover control structure:
+
+* ``("stmt", node)``   — a simple statement (no internal control flow),
+* ``("test", expr)``   — a branch/loop condition evaluated here,
+* ``("iter", node)``   — one ``for``-loop iteration step (binds the target),
+* ``("enter", item)``  — a ``with`` context entered (``ast.withitem``),
+* ``("exit", item)``   — that context exited (on *every* path out),
+* ``("except", handler)`` — an except clause binding its name,
+* ``("case", case)``   — a ``match`` case pattern that matched,
+* ``("def", node)``    — a nested function/class definition (analyses
+  must not descend into it).
+
+Exception edges use a deliberate convention the dataflow engine relies
+on: **a statement that may raise always starts a fresh block**, and an
+``exc`` edge propagates the block's *in*-state (the state before the
+potentially-raising statement ran).  That is what makes
+``lock.acquire(); work(); lock.release()`` show the lock held on the
+exception path out of ``work()`` while keeping ``lock.acquire()``
+itself, or a bare ``acquire(); release()`` pair, leak-free.
+
+Abrupt exits (``return`` / ``raise`` / ``break`` / ``continue``) unwind
+the enclosing context stack: ``with`` blocks emit their ``exit`` events
+and ``finally`` bodies are inlined along the unwind path (so a
+``try/finally`` with a ``return`` in both arms is modelled exactly);
+unwind chains are memoised per context stack so sibling statements share
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Edge kinds, in the order render() lists them.
+EDGE_KINDS = ("next", "true", "false", "exc")
+
+
+@dataclass
+class Block:
+    """One basic block: an event list plus kind-tagged successor edges."""
+
+    id: int
+    label: str
+    events: list = field(default_factory=list)
+    succ: list[tuple[int, str]] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of one function; block 0 is the entry, block 1
+    the (shared normal/exceptional) exit."""
+
+    def __init__(self, name: str, lineno: int):
+        self.name = name
+        self.lineno = lineno
+        self.blocks: list[Block] = []
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    @property
+    def exit(self) -> int:
+        return 1
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def edge_set(self) -> set[tuple[int, int, str]]:
+        """Every edge as ``(src, dst, kind)`` — what the CFG tests assert."""
+        return {
+            (block.id, dst, kind)
+            for block in self.blocks
+            for dst, kind in block.succ
+        }
+
+    def render(self) -> str:
+        """Human-readable dump (debugging and documentation)."""
+        lines = []
+        for block in self.blocks:
+            events = ", ".join(
+                f"{kind}@{getattr(node, 'lineno', '?')}" for kind, node in block.events
+            )
+            succ = ", ".join(f"b{dst}[{kind}]" for dst, kind in block.succ)
+            lines.append(
+                f"b{block.id} {block.label}: [{events}] -> {succ or '-'}"
+            )
+        return "\n".join(lines)
+
+
+def default_may_raise(stmt: ast.stmt) -> bool:
+    """A statement may raise when it evaluates a call/await or asserts."""
+    if isinstance(stmt, (ast.Assert, ast.Raise)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Await)):
+            return True
+    return False
+
+
+class _Loop:
+    def __init__(self, header: Block, after: Block):
+        self.header = header
+        self.after = after
+
+
+class _Finally:
+    def __init__(self, body: list[ast.stmt]):
+        self.body = body
+
+
+class _Except:
+    def __init__(self, dispatch: Block):
+        self.dispatch = dispatch
+
+
+class _With:
+    def __init__(self, items: list[ast.withitem]):
+        self.items = items
+
+
+class CFGBuilder:
+    """Builds one :class:`CFG`; ``may_raise`` is injectable so callers
+    can exempt statements they model as non-raising (lock primitives)."""
+
+    def __init__(self, may_raise: Optional[Callable[[ast.stmt], bool]] = None):
+        self.may_raise = may_raise if may_raise is not None else default_may_raise
+
+    def build(self, func) -> CFG:
+        self.cfg = CFG(func.name, func.lineno)
+        entry = self._block("entry")
+        self.exit_block = self._block("exit")
+        self.current: Optional[Block] = entry
+        self.stack: list = []
+        self._unwind_cache: dict = {}
+        self._stmts(func.body)
+        if self.current is not None:
+            self._edge(self.current, self.exit_block, "next")
+        return self.cfg
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def _block(self, label: str) -> Block:
+        block = Block(id=len(self.cfg.blocks), label=label)
+        self.cfg.blocks.append(block)
+        return block
+
+    def _edge(self, src: Block, dst: Block, kind: str) -> None:
+        if (dst.id, kind) not in src.succ:
+            src.succ.append((dst.id, kind))
+
+    def _fresh(self, label: str) -> Block:
+        """Start a new block linked from the current one by ``next``."""
+        block = self._block(label)
+        if self.current is not None:
+            self._edge(self.current, block, "next")
+        self.current = block
+        return block
+
+    # -- statement dispatch --------------------------------------------------
+
+    def _stmts(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if self.current is None:
+                # Unreachable code still gets blocks (no predecessors),
+                # so the CFG covers the whole function body.
+                self.current = self._block("dead")
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._for(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        elif isinstance(stmt, ast.Match):
+            self._match(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._return(stmt)
+        elif isinstance(stmt, ast.Raise):
+            self._raise(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._abrupt("break")
+        elif isinstance(stmt, ast.Continue):
+            self._abrupt("continue")
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.current.events.append(("def", stmt))
+        else:
+            self._simple(stmt)
+
+    def _simple(self, stmt: ast.stmt) -> None:
+        if self.may_raise(stmt):
+            # May-raise statements start their own block so the exc
+            # edge's in-state is exactly the pre-statement state.
+            if self.current.events:
+                self._fresh("stmt")
+            self.current.events.append(("stmt", stmt))
+            self._edge(self.current, self._unwind_entry("exc"), "exc")
+        else:
+            self.current.events.append(("stmt", stmt))
+
+    # -- abrupt exits ----------------------------------------------------------
+
+    def _return(self, stmt: ast.Return) -> None:
+        if self.may_raise(stmt) and self.current.events:
+            self._fresh("return")
+        self.current.events.append(("stmt", stmt))
+        if self.may_raise(stmt):
+            self._edge(self.current, self._unwind_entry("exc"), "exc")
+        self._edge(self.current, self._unwind_entry("return"), "next")
+        self.current = None
+
+    def _raise(self, stmt: ast.Raise) -> None:
+        if self.current.events:
+            self._fresh("raise")
+        self.current.events.append(("stmt", stmt))
+        self._edge(self.current, self._unwind_entry("exc"), "exc")
+        self.current = None
+
+    def _abrupt(self, kind: str) -> None:
+        self._edge(self.current, self._unwind_entry(kind), "next")
+        self.current = None
+
+    # -- unwinding through the context stack ----------------------------------
+
+    def _unwind_entry(self, kind: str) -> Block:
+        """Target of a ``kind`` exit from the current context stack.
+
+        Walks the stack top-down: ``with`` frames contribute their exit
+        events, ``finally`` frames inline their bodies, an ``except``
+        frame terminates an ``exc`` unwind at its dispatch block, a loop
+        frame terminates ``break``/``continue``.  Exhausting the stack
+        lands on the function exit.  Chains are memoised per stack.
+        """
+        key = (kind, tuple(id(frame) for frame in self.stack))
+        cached = self._unwind_cache.get(key)
+        if cached is not None:
+            return cached
+        target = self._direct_target(kind)
+        if target is None:
+            target = self._build_unwind(kind)
+        self._unwind_cache[key] = target
+        return target
+
+    def _direct_target(self, kind: str) -> Optional[Block]:
+        """The unwind target when no intermediate work is needed."""
+        for frame in reversed(self.stack):
+            if isinstance(frame, (_With, _Finally)):
+                return None
+            if isinstance(frame, _Except) and kind == "exc":
+                return frame.dispatch
+            if isinstance(frame, _Loop) and kind in ("break", "continue"):
+                return frame.after if kind == "break" else frame.header
+        if kind in ("exc", "return"):
+            return self.exit_block
+        return None  # break/continue outside a loop: SyntaxError anyway
+
+    def _build_unwind(self, kind: str) -> Block:
+        saved_current, saved_stack = self.current, self.stack
+        work = self._block(f"unwind-{kind}")
+        self.current = work
+        i = len(saved_stack) - 1
+        while i >= 0 and self.current is not None:
+            frame = saved_stack[i]
+            if isinstance(frame, _With):
+                for item in reversed(frame.items):
+                    self.current.events.append(("exit", item))
+            elif isinstance(frame, _Finally):
+                # Inline the finally body with only the *outer* frames
+                # active, so a return/raise inside it unwinds correctly
+                # (and overrides the in-flight exit, as in Python).
+                self.stack = list(saved_stack[:i])
+                self._stmts(frame.body)
+            elif isinstance(frame, _Except) and kind == "exc":
+                self._edge(self.current, frame.dispatch, "next")
+                self.current = None
+            elif isinstance(frame, _Loop) and kind in ("break", "continue"):
+                target = frame.after if kind == "break" else frame.header
+                self._edge(self.current, target, "next")
+                self.current = None
+            i -= 1
+        if self.current is not None:
+            self._edge(self.current, self.exit_block, "next")
+        self.current, self.stack = saved_current, saved_stack
+        return work
+
+    # -- compound statements ---------------------------------------------------
+
+    def _if(self, stmt: ast.If) -> None:
+        self.current.events.append(("test", stmt.test))
+        cond = self.current
+
+        then = self._block("then")
+        self._edge(cond, then, "true")
+        self.current = then
+        self._stmts(stmt.body)
+        then_end = self.current
+
+        else_end = None
+        if stmt.orelse:
+            orelse = self._block("else")
+            self._edge(cond, orelse, "false")
+            self.current = orelse
+            self._stmts(stmt.orelse)
+            else_end = self.current
+
+        if stmt.orelse and then_end is None and else_end is None:
+            self.current = None
+            return
+        after = self._block("join")
+        if then_end is not None:
+            self._edge(then_end, after, "next")
+        if stmt.orelse:
+            if else_end is not None:
+                self._edge(else_end, after, "next")
+        else:
+            self._edge(cond, after, "false")
+        self.current = after
+
+    def _while(self, stmt: ast.While) -> None:
+        header = self._fresh("while")
+        header.events.append(("test", stmt.test))
+        after = self._block("after")
+        body = self._block("body")
+        self._edge(header, body, "true")
+        self.stack.append(_Loop(header, after))
+        self.current = body
+        self._stmts(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, header, "next")
+        self.stack.pop()
+        self._loop_orelse(stmt, header, after)
+
+    def _for(self, stmt) -> None:
+        header = self._fresh("for")
+        header.events.append(("iter", stmt))
+        if default_may_raise_expr(stmt.iter):
+            self._edge(header, self._unwind_entry("exc"), "exc")
+        after = self._block("after")
+        body = self._block("body")
+        self._edge(header, body, "true")
+        self.stack.append(_Loop(header, after))
+        self.current = body
+        self._stmts(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, header, "next")
+        self.stack.pop()
+        self._loop_orelse(stmt, header, after)
+
+    def _loop_orelse(self, stmt, header: Block, after: Block) -> None:
+        if stmt.orelse:
+            orelse = self._block("loop-else")
+            self._edge(header, orelse, "false")
+            self.current = orelse
+            self._stmts(stmt.orelse)
+            if self.current is not None:
+                self._edge(self.current, after, "next")
+        else:
+            self._edge(header, after, "false")
+        self.current = after
+
+    def _with(self, stmt) -> None:
+        entered = 0
+        for item in stmt.items:
+            if default_may_raise_expr(item.context_expr) and self.current.events:
+                self._fresh("with")
+            self.current.events.append(("enter", item))
+            if default_may_raise_expr(item.context_expr):
+                # Entering may raise *before* this context is active;
+                # the in-state convention keeps it un-entered there.
+                self._edge(self.current, self._unwind_entry("exc"), "exc")
+            self.stack.append(_With([item]))
+            entered += 1
+        self._stmts(stmt.body)
+        for _ in range(entered):
+            frame = self.stack.pop()
+            if self.current is not None:
+                for item in reversed(frame.items):
+                    self.current.events.append(("exit", item))
+
+    def _try(self, stmt: ast.Try) -> None:
+        has_finally = bool(stmt.finalbody)
+        if has_finally:
+            self.stack.append(_Finally(stmt.finalbody))
+        dispatch = None
+        if stmt.handlers:
+            dispatch = self._block("dispatch")
+            self.stack.append(_Except(dispatch))
+
+        self._stmts(stmt.body)
+        if stmt.handlers:
+            self.stack.pop()
+        if stmt.orelse and self.current is not None:
+            # else runs only after an exception-free body; its own
+            # exceptions skip these handlers (the frame is popped).
+            self._stmts(stmt.orelse)
+        body_end = self.current
+
+        handler_ends: list[Optional[Block]] = []
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                hblock = self._block("except")
+                self._edge(dispatch, hblock, "next")
+                hblock.events.append(("except", handler))
+                self.current = hblock
+                self._stmts(handler.body)
+                handler_ends.append(self.current)
+            # No handler matched: the exception keeps unwinding (through
+            # the finally body, when there is one — it is still on the
+            # stack here).
+            self._edge(dispatch, self._unwind_entry("exc"), "exc")
+
+        if has_finally:
+            self.stack.pop()
+
+        after = self._block("join")
+        reached = False
+        for end in [body_end] + handler_ends:
+            if end is None:
+                continue
+            self.current = end
+            if has_finally:
+                self._stmts(stmt.finalbody)
+            if self.current is not None:
+                self._edge(self.current, after, "next")
+                reached = True
+        self.current = after if reached else None
+        if not reached:
+            # Drop the unreachable join block marker by labelling it.
+            after.label = "dead"
+
+    def _match(self, stmt: ast.Match) -> None:
+        self.current.events.append(("test", stmt.subject))
+        subject = self.current
+        after = self._block("join")
+        reached = False
+        irrefutable = False
+        for case in stmt.cases:
+            body = self._block("case")
+            self._edge(subject, body, "true")
+            body.events.append(("case", case))
+            self.current = body
+            self._stmts(case.body)
+            if self.current is not None:
+                self._edge(self.current, after, "next")
+                reached = True
+            if _is_irrefutable(case):
+                irrefutable = True
+        if not irrefutable:
+            self._edge(subject, after, "false")
+            reached = True
+        self.current = after if reached else None
+        if not reached:
+            after.label = "dead"
+
+
+def _is_irrefutable(case: ast.match_case) -> bool:
+    if case.guard is not None:
+        return False
+    pattern = case.pattern
+    return isinstance(pattern, ast.MatchAs) and pattern.pattern is None
+
+
+def default_may_raise_expr(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Call, ast.Await)):
+            return True
+    return False
+
+
+def build_cfg(func, may_raise: Optional[Callable[[ast.stmt], bool]] = None) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    return CFGBuilder(may_raise=may_raise).build(func)

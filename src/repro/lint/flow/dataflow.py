@@ -1,0 +1,122 @@
+"""Generic forward dataflow over a :class:`~repro.lint.flow.cfg.CFG`.
+
+The engine is deliberately small: an analysis supplies a *boundary*
+state for the function entry, a *join* (the lattice's least upper
+bound) and a *transfer* function over CFG events.  :func:`run_forward`
+iterates a worklist to the fixpoint and returns the in/out state of
+every reachable block (unreachable blocks stay at bottom, represented
+as absence from the maps).
+
+One convention matters: an ``exc`` edge propagates the source block's
+**in**-state, not its out-state.  The CFG builder guarantees that a
+statement that may raise always begins its own block, so the in-state
+is exactly the program state *before* the potentially-raising statement
+— which is what an exception path observes.
+
+States must be hashable-equality values (``frozenset`` is the usual
+choice); the engine only ever compares them with ``==``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.lint.flow.cfg import CFG
+from repro.lint.errors import LintError
+
+#: Fixpoint-iteration safety valve; generous (blocks * lattice height is
+#: tiny for real functions) but keeps a buggy lattice from spinning.
+MAX_STEPS = 100_000
+
+
+class ForwardAnalysis:
+    """Base class for one forward analysis (a lattice + transfer)."""
+
+    def boundary(self):
+        """State on entry to the function."""
+        raise NotImplementedError
+
+    def join(self, a, b):
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, state, event):
+        """State after one CFG event; must not mutate ``state``."""
+        raise NotImplementedError
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis) -> tuple[dict, dict]:
+    """Iterate to the fixpoint; returns ``(in_states, out_states)`` keyed
+    by block id (reachable blocks only)."""
+    in_states: dict[int, object] = {cfg.entry: analysis.boundary()}
+    out_states: dict[int, object] = {}
+    worklist: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > MAX_STEPS:
+            raise LintError(
+                f"dataflow did not converge on {cfg.name!r} "
+                f"({len(cfg.blocks)} blocks)"
+            )
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.block(block_id)
+        state = in_states[block_id]
+        for event in block.events:
+            state = analysis.transfer(state, event)
+        out_states[block_id] = state
+        for target, kind in block.succ:
+            edge_state = in_states[block_id] if kind == "exc" else state
+            known = in_states.get(target)
+            merged = edge_state if known is None else analysis.join(known, edge_state)
+            if known is None or merged != known:
+                in_states[target] = merged
+                if target not in queued:
+                    worklist.append(target)
+                    queued.add(target)
+    return in_states, out_states
+
+
+def event_states(cfg: CFG, analysis: ForwardAnalysis, in_states: dict):
+    """Yield ``(block, event, pre_state)`` for every event of every
+    reachable block — the per-event view fact extraction consumes."""
+    for block in cfg.blocks:
+        state = in_states.get(block.id)
+        if state is None:
+            continue
+        for event in block.events:
+            yield block, event, state
+            state = analysis.transfer(state, event)
+
+
+def reachable_path(
+    cfg: CFG,
+    start: int,
+    goal: int,
+    admit,
+) -> Optional[list[int]]:
+    """Shortest block path from ``start`` to ``goal`` through blocks for
+    which ``admit(block_id)`` holds (both endpoints included) — used to
+    reconstruct a witness path for a fact found by the fixpoint."""
+    if start == goal:
+        return [start]
+    frontier = deque([start])
+    parent: dict[int, int] = {start: start}
+    while frontier:
+        block_id = frontier.popleft()
+        for target, _kind in cfg.block(block_id).succ:
+            if target in parent:
+                continue
+            if target != goal and not admit(target):
+                continue
+            parent[target] = block_id
+            if target == goal:
+                path = [goal]
+                while path[-1] != start:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            frontier.append(target)
+    return None

@@ -1,0 +1,427 @@
+"""The concurrency-discipline rule pack.
+
+Seven project rules over the flow facts
+(:mod:`repro.lint.flow.facts`) riding in every module summary:
+
+* ``lock-balance``       — every acquire is released on all CFG paths,
+  exception edges included; leaks carry an acquire→exit code flow.
+* ``lock-order``         — the cross-module lock-acquisition-order
+  graph must be acyclic (a cycle is a potential deadlock).
+* ``guarded-state``      — attributes declared ``# lint:
+  guarded-by=<lock>`` are never written without that lock (ERROR);
+  attributes observed written both under a lock and lock-free are
+  flagged as advisory inference findings (WARNING).
+* ``blocking-under-lock``— no blocking primitive (socket I/O, sleep,
+  thread join, queue get/put) runs while a lock is held, directly or
+  through a project-internal call chain.
+* ``cond-wait-loop``     — ``Condition.wait`` is re-checked in a loop
+  (wakeups can be spurious).
+* ``async-blocking``     — no blocking primitive inside ``async def``
+  (dormant until the asyncio front-end lands, but fully tested).
+* ``thread-lifecycle``   — a module that creates ``threading.Thread``
+  objects must join threads somewhere (``Timer`` excluded by design).
+
+All of them consume summaries only — sources are never re-read — so
+they inherit the incremental cache, suppression and SARIF machinery of
+the project pass for free.  See ``docs/concurrency.md``.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from typing import Iterator, Optional
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.facts import blocking_dotted
+from repro.lint.project.graph import ModuleGraph
+from repro.lint.registry import ProjectRule, register
+
+#: Methods allowed to write guarded attributes lock-free: the object is
+#: not shared yet (or is being torn down) while these run.
+_BIRTH_METHODS = {"__init__", "__new__", "__del__"}
+
+
+def _iter_functions(index):
+    """``(module, summary, qualname, facts)`` for every function with
+    flow facts, deterministically ordered."""
+    for module in sorted(index.summaries):
+        summary = index.summaries[module]
+        functions = summary.flow.get("functions", {})
+        for qualname in sorted(functions):
+            yield module, summary, qualname, functions[qualname]
+
+
+def _held_class(qualname: str, summary) -> Optional[str]:
+    head = qualname.split(".")[0]
+    return head if head in summary.classes else None
+
+
+def _resolve_call(index, module: str, qualname: str, call: str):
+    """Project function a dotted call refers to, as ``(module, qualname)``.
+
+    Context-light resolution: ``self.f`` → a sibling method, a bare name
+    → a module-level function, ``alias.f`` → another project module's
+    function (through import aliases and re-export chains).  Anything
+    else is out of model.
+    """
+    summary = index.summaries.get(module)
+    if summary is None:
+        return None
+    parts = call.split(".")
+    if parts[0] == "self" and len(parts) == 2:
+        cls = _held_class(qualname, summary)
+        if cls is not None and f"{cls}.{parts[1]}" in summary.functions:
+            return (module, f"{cls}.{parts[1]}")
+        return None
+    if len(parts) == 1:
+        if call in summary.functions:
+            return (module, call)
+        resolved = index.resolve_symbol(module, call)
+        if resolved is not None:
+            def_module, binding = resolved
+            if binding["kind"] == "def" and binding["name"] in index.summaries[
+                def_module
+            ].functions:
+                return (def_module, binding["name"])
+        return None
+    if len(parts) == 2:
+        target = index.module_alias(module, parts[0])
+        if target is not None:
+            target_summary = index.summaries.get(target)
+            if target_summary is not None and parts[1] in target_summary.functions:
+                return (target, parts[1])
+    return None
+
+
+def _global_lock_id(index, module: str, canon: str) -> Optional[str]:
+    """Module-qualified lock id for the order graph; None for locals.
+
+    A simple module-level name is resolved through the import graph so
+    ``from repro.core.locks import IO_LOCK`` and the defining module
+    agree on one id; ``alias.LOCK`` resolves through module aliases.
+    ``Class.attr`` ids stay module-local (classes are compared where
+    they are defined).
+    """
+    if ":" in canon:
+        return None
+    parts = canon.split(".")
+    if len(parts) == 1:
+        resolved = index.resolve_symbol(module, canon)
+        if resolved is not None:
+            def_module, binding = resolved
+            return f"{def_module}.{binding['name']}"
+        return f"{module}.{canon}"
+    if len(parts) == 2:
+        target = index.module_alias(module, parts[0])
+        if target is not None:
+            return f"{target}.{parts[1]}"
+    return f"{module}.{canon}"
+
+
+def _blocking_closure(index) -> dict:
+    """``(module, qualname) -> primitive`` for every project function
+    that blocks, directly or transitively (the context-light fixpoint).
+
+    The per-function ``calls`` lists in the summaries are the edges;
+    seeds are functions whose calls include a curated blocking
+    primitive.  Iterating to the fixpoint makes ``a() -> b() ->
+    sock.recv()`` attribute the recv to ``a`` as well.
+    """
+    blocking: dict[tuple, str] = {}
+    calls_of: dict[tuple, list] = {}
+    for module in index.summaries:
+        summary = index.summaries[module]
+        for qualname, rec in summary.functions.items():
+            key = (module, qualname)
+            calls_of[key] = rec.get("calls", [])
+            for call in calls_of[key]:
+                if blocking_dotted(call):
+                    blocking.setdefault(key, call)
+    changed = True
+    while changed:
+        changed = False
+        for key, calls in calls_of.items():
+            if key in blocking:
+                continue
+            module, qualname = key
+            for call in calls:
+                target = _resolve_call(index, module, qualname, call)
+                if target is not None and target in blocking:
+                    blocking[key] = blocking[target]
+                    changed = True
+                    break
+    return blocking
+
+
+@register
+class LockBalanceRule(ProjectRule):
+    id = "lock-balance"
+    summary = (
+        "every lock acquired must be released on all paths out of the "
+        "function, exception edges included (use with or try/finally)"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        for module, summary, qualname, facts in _iter_functions(index):
+            if not self.in_scope(module):
+                continue
+            for leak in facts.get("leaks", []):
+                yield self.finding_at(
+                    summary.path,
+                    leak["line"],
+                    f"'{leak['lock']}' acquired in {qualname} is not "
+                    "released on every path out of the function "
+                    "(exception paths included); hold it in a with "
+                    "block or release in try/finally",
+                    code_flow=leak.get("path", []),
+                )
+            for rec in facts.get("releases_unheld", []):
+                yield self.finding_at(
+                    summary.path,
+                    rec["line"],
+                    f"{qualname} releases '{rec['lock']}', which is not "
+                    "held on any path reaching this statement",
+                )
+
+
+@register
+class LockOrderRule(ProjectRule):
+    id = "lock-order"
+    summary = (
+        "the project-wide lock acquisition order must be acyclic; a "
+        "cycle means two threads can deadlock taking the locks in "
+        "opposite orders"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        edges: dict[str, set] = {}
+        sites: dict[tuple, tuple] = {}  # (held, acquired) -> (path, line, module)
+        for module, summary, _qualname, facts in _iter_functions(index):
+            for acq in facts.get("acquires", []):
+                acquired = _global_lock_id(index, module, acq["lock"])
+                if acquired is None:
+                    continue
+                for held_local in acq.get("held", []):
+                    held = _global_lock_id(index, module, held_local)
+                    if held is None or held == acquired:
+                        continue
+                    edges.setdefault(held, set()).add(acquired)
+                    sites.setdefault(
+                        (held, acquired), (summary.path, acq["line"], module)
+                    )
+        for cycle in ModuleGraph(edges).cycles():
+            ring = cycle + [cycle[0]]
+            site = None
+            for held, acquired in zip(ring, ring[1:]):
+                site = sites.get((held, acquired))
+                if site is not None:
+                    break
+            if site is None:
+                continue
+            path, line, module = site
+            if not self.in_scope(module):
+                continue
+            chain = " -> ".join(ring)
+            yield self.finding_at(
+                path,
+                line,
+                f"lock acquisition order cycle (potential deadlock): {chain}",
+            )
+
+
+@register
+class GuardedStateRule(ProjectRule):
+    id = "guarded-state"
+    summary = (
+        "attributes annotated '# lint: guarded-by=<lock>' must only be "
+        "written with that lock held; mixed locked/lock-free writes are "
+        "flagged as inferred races"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        for module in sorted(index.summaries):
+            if not self.in_scope(module):
+                continue
+            summary = index.summaries[module]
+            guarded = summary.flow.get("guarded_by", {})
+            writes: dict[str, list] = {}
+            for qualname, facts in sorted(
+                summary.flow.get("functions", {}).items()
+            ):
+                method = qualname.split(".")[-1]
+                for rec in facts.get("attr_writes", []):
+                    writes.setdefault(rec["attr"], []).append(
+                        (qualname, method, rec)
+                    )
+            yield from self._annotated(summary, guarded, writes)
+            yield from self._inferred(summary, guarded, writes)
+
+    def _annotated(self, summary, guarded, writes) -> Iterator[Finding]:
+        for attr, lock in sorted(guarded.items()):
+            for qualname, method, rec in writes.get(attr, []):
+                if method in _BIRTH_METHODS:
+                    continue
+                if lock not in rec["held"]:
+                    yield self.finding_at(
+                        summary.path,
+                        rec["line"],
+                        f"'{attr}' is declared guarded-by '{lock}' but "
+                        f"{qualname} writes it without holding the lock",
+                    )
+
+    def _inferred(self, summary, guarded, writes) -> Iterator[Finding]:
+        for attr, recs in sorted(writes.items()):
+            if attr in guarded:
+                continue
+            locked = [r for _q, m, r in recs if r["held"] and m not in _BIRTH_METHODS]
+            if not locked:
+                continue
+            # The inferred guard: a lock held at every locked write.
+            common = set(locked[0]["held"])
+            for rec in locked[1:]:
+                common &= set(rec["held"])
+            if not common:
+                continue
+            guard = sorted(common)[0]
+            for qualname, method, rec in recs:
+                if method in _BIRTH_METHODS or rec["held"]:
+                    continue
+                yield self.finding_at(
+                    summary.path,
+                    rec["line"],
+                    f"'{attr}' is written under '{guard}' elsewhere but "
+                    f"{qualname} writes it lock-free; annotate it with "
+                    f"'# lint: guarded-by=...' or take the lock",
+                    severity=Severity.WARNING,
+                )
+
+
+@register
+class BlockingUnderLockRule(ProjectRule):
+    id = "blocking-under-lock"
+    summary = (
+        "no blocking call (socket I/O, sleep, join, queue get/put) "
+        "while a lock is held — directly or through a call chain"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        allow = tuple(self.options.get("allow", ()))
+        allow_modules = tuple(self.options.get("allow-modules", ()))
+        closure = _blocking_closure(index)
+        for module, summary, qualname, facts in _iter_functions(index):
+            if not self.in_scope(module):
+                continue
+            if any(fnmatch(module, pattern) for pattern in allow_modules):
+                continue
+            for rec in facts.get("calls_held", []):
+                call = rec["call"]
+                if any(fnmatch(call, pattern) for pattern in allow):
+                    continue
+                held = ", ".join(f"'{lock}'" for lock in rec["held"])
+                if blocking_dotted(call):
+                    yield self.finding_at(
+                        summary.path,
+                        rec["line"],
+                        f"blocking call {call}() while holding {held}; "
+                        "move the blocking operation outside the lock",
+                    )
+                    continue
+                target = _resolve_call(index, module, qualname, call)
+                if target is not None and target in closure:
+                    primitive = closure[target]
+                    yield self.finding_at(
+                        summary.path,
+                        rec["line"],
+                        f"{call}() blocks (via {primitive}()) and is "
+                        f"called while holding {held}; move it outside "
+                        "the lock",
+                    )
+
+
+@register
+class CondWaitLoopRule(ProjectRule):
+    id = "cond-wait-loop"
+    summary = (
+        "Condition.wait must be re-checked in a loop — wakeups can be "
+        "spurious and the predicate may already be false again"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        for module, summary, qualname, facts in _iter_functions(index):
+            if not self.in_scope(module):
+                continue
+            for rec in facts.get("waits", []):
+                if rec.get("in_loop"):
+                    continue
+                yield self.finding_at(
+                    summary.path,
+                    rec["line"],
+                    f"{qualname} calls wait on '{rec['lock']}' outside "
+                    "a loop; use 'while not predicate: cond.wait()' "
+                    "(wakeups can be spurious)",
+                )
+
+
+@register
+class AsyncBlockingRule(ProjectRule):
+    id = "async-blocking"
+    summary = (
+        "no blocking call inside 'async def' — it stalls the entire "
+        "event loop (use the asyncio equivalent or a thread executor)"
+    )
+
+    def check(self, index) -> Iterator[Finding]:
+        closure = _blocking_closure(index)
+        for module, summary, qualname, facts in _iter_functions(index):
+            if not self.in_scope(module) or not facts.get("is_async"):
+                continue
+            for rec in facts.get("blocking", []):
+                yield self.finding_at(
+                    summary.path,
+                    rec["line"],
+                    f"blocking call {rec['call']}() inside async def "
+                    f"{qualname}; it stalls the event loop",
+                )
+            reported = {rec["call"] for rec in facts.get("blocking", [])}
+            for call in index.summaries[module].functions.get(qualname, {}).get(
+                "calls", []
+            ):
+                if call in reported or blocking_dotted(call):
+                    continue
+                target = _resolve_call(index, module, qualname, call)
+                if target is not None and target in closure:
+                    yield self.finding_at(
+                        summary.path,
+                        facts.get("line", 1),
+                        f"async def {qualname} calls {call}(), which "
+                        f"blocks (via {closure[target]}()); it stalls "
+                        "the event loop",
+                    )
+
+
+@register
+class ThreadLifecycleRule(ProjectRule):
+    id = "thread-lifecycle"
+    summary = (
+        "a module creating threading.Thread objects must join threads "
+        "somewhere (with a timeout), or stopped threads leak"
+    )
+    default_severity = Severity.WARNING
+
+    def check(self, index) -> Iterator[Finding]:
+        for module in sorted(index.summaries):
+            if not self.in_scope(module):
+                continue
+            summary = index.summaries[module]
+            threads = summary.flow.get("threads", {})
+            creates = threads.get("creates", [])
+            if not creates or threads.get("joins"):
+                continue
+            for rec in creates:
+                yield self.finding_at(
+                    summary.path,
+                    rec["line"],
+                    "threading.Thread created here but nothing in this "
+                    "module ever joins a thread; track the thread and "
+                    "join it (with a timeout) on shutdown",
+                )

@@ -1,0 +1,94 @@
+"""Flow-analysis timing guard: the concurrency pass must stay cheap.
+
+``python -m repro.lint.flow.timing [paths] --budget 5`` runs only the
+concurrency rule pack (the CFG + dataflow half of the linter) twice in
+one process — once against an empty cache, once warm — and fails
+unless:
+
+* the warm run re-parsed **zero** files (the flow facts ride inside the
+  cached module summaries, so a warm pass must never rebuild a CFG),
+* cold and warm produced byte-identical findings,
+* the warm pass fits the wall-clock budget.
+
+Like :mod:`repro.lint.project.timing` it runs in-process so the ratio
+reflects the analyzer, not interpreter start-up; it is likewise on the
+``wall-clock`` rule's allow list (it measures the linter itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.config import load_config
+from repro.lint.project.timing import measure
+
+#: The concurrency rule pack (docs/concurrency.md), in gating order.
+FLOW_RULE_IDS = (
+    "lock-balance",
+    "lock-order",
+    "guarded-state",
+    "blocking-under-lock",
+    "cond-wait-loop",
+    "async-blocking",
+    "thread-lifecycle",
+)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint-flow-timing",
+        description="assert the concurrency pass is cache-friendly and cheap",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"])
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=5.0,
+        help="warm-pass wall-clock budget in seconds (default 5)",
+    )
+    parser.add_argument("--warm-runs", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    config = load_config(Path.cwd())
+    paths = [Path(p) for p in args.paths]
+    with tempfile.TemporaryDirectory(prefix="repro-lint-flow-timing-") as tmp:
+        result = measure(
+            paths,
+            config,
+            Path(tmp) / "cache.json",
+            warm_runs=args.warm_runs,
+            select=list(FLOW_RULE_IDS),
+        )
+
+    print(
+        f"flow pass over {result['files']} files: "
+        f"cold {result['cold_seconds']:.3f}s ({result['cold_parsed']} parsed), "
+        f"warm {result['warm_seconds']:.3f}s ({result['warm_parsed']} parsed)"
+    )
+    failed = False
+    if not result["identical"]:
+        print("FAIL: warm findings differ from cold findings", file=sys.stderr)
+        failed = True
+    if result["warm_parsed"] != 0:
+        print(
+            f"FAIL: warm run re-parsed {result['warm_parsed']} files "
+            "(flow facts must come from the summary cache)",
+            file=sys.stderr,
+        )
+        failed = True
+    if result["warm_seconds"] > args.budget:
+        print(
+            f"FAIL: warm pass took {result['warm_seconds']:.3f}s > budget "
+            f"{args.budget:.3f}s",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -26,7 +26,9 @@ from typing import Optional
 
 from repro.lint.project.graph import ModuleGraph
 
-CACHE_VERSION = 1
+# 2: ModuleSummary grew the `flow` concurrency-fact field; version-1
+# summaries lack it and must be recomputed, not deserialised.
+CACHE_VERSION = 2
 
 
 def content_hash(data: bytes) -> str:

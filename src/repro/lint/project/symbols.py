@@ -83,6 +83,10 @@ class ModuleSummary:
     refs: list[str] = field(default_factory=list)
     #: Serialized suppression comments: {"file": [...], "lines": {"n": [...]}}.
     suppressions: dict = field(default_factory=dict)
+    #: Concurrency facts distilled by :mod:`repro.lint.flow.facts`
+    #: (locks, per-function acquire/leak/wait records, guarded-by map,
+    #: thread lifecycle) — empty for modules that touch none of that.
+    flow: dict = field(default_factory=dict)
     #: {"msg": str, "line": int, "col": int} when the file does not parse.
     parse_error: Optional[dict] = None
 
@@ -102,6 +106,7 @@ class ModuleSummary:
             "all_dynamic": self.all_dynamic,
             "refs": self.refs,
             "suppressions": self.suppressions,
+            "flow": self.flow,
             "parse_error": self.parse_error,
         }
 
@@ -397,4 +402,10 @@ def summarize_source(source: str, *, path: str, module: str) -> ModuleSummary:
         }
         return summary
     _Extractor(summary).run(tree)
+    # Imported late: flow depends on nothing in this module, but keeping
+    # the import local makes the layering (symbols -> flow.facts) obvious
+    # at the one point it happens.
+    from repro.lint.flow.facts import extract_flow
+
+    summary.flow = extract_flow(tree, source, module)
     return summary

@@ -44,8 +44,10 @@ def measure(
     config: LintConfig,
     cache_file: Path,
     warm_runs: int = 3,
+    select: Optional[list[str]] = None,
 ) -> dict:
-    """Time one cold and ``warm_runs`` warm project passes."""
+    """Time one cold and ``warm_runs`` warm project passes (optionally
+    restricted to ``select``-ed rules, e.g. the flow pack)."""
     options = dict(config.rule_options)
     options["project"] = {
         **options.get("project", {}),
@@ -56,14 +58,14 @@ def measure(
     if cache_file.exists():
         cache_file.unlink()
     start = time.perf_counter()
-    cold_reports, cold_stats = run_project(paths, config=config)
+    cold_reports, cold_stats = run_project(paths, config=config, select=select)
     cold_seconds = time.perf_counter() - start
 
     warm_seconds = None
     warm_reports, warm_stats = cold_reports, cold_stats
     for _ in range(max(warm_runs, 1)):
         start = time.perf_counter()
-        warm_reports, warm_stats = run_project(paths, config=config)
+        warm_reports, warm_stats = run_project(paths, config=config, select=select)
         elapsed = time.perf_counter() - start
         warm_seconds = elapsed if warm_seconds is None else min(warm_seconds, elapsed)
 

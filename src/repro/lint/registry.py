@@ -97,14 +97,24 @@ class ProjectRule(Rule):
             for prefix in self.scope
         )
 
-    def finding_at(self, path: str, line: int, message: str, col: int = 1) -> Finding:
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        col: int = 1,
+        *,
+        severity: Optional[Severity] = None,
+        code_flow: Iterable = (),
+    ) -> Finding:
         return Finding(
             rule=self.id,
             path=path,
             line=line,
             col=col,
             message=message,
-            severity=self.severity,
+            severity=severity if severity is not None else self.severity,
+            code_flow=tuple(tuple(step) for step in code_flow),
         )
 
 
@@ -131,6 +141,7 @@ def all_rule_classes() -> dict[str, Type[Rule]]:
     # Importing the rules packages registers every built-in rule.
     import repro.lint.rules  # noqa: F401
     import repro.lint.project.rules  # noqa: F401
+    import repro.lint.flow.rules  # noqa: F401
 
     return dict(_REGISTRY)
 

@@ -48,9 +48,29 @@ def _result(finding: Finding, rule_index: dict[str, int], suppressed: bool) -> d
     }
     if finding.rule in rule_index:
         result["ruleIndex"] = rule_index[finding.rule]
+    if finding.code_flow:
+        result["codeFlows"] = [_code_flow(finding)]
     if suppressed:
         result["suppressions"] = [{"kind": "inSource"}]
     return result
+
+
+def _code_flow(finding: Finding) -> dict:
+    """One codeFlow/threadFlow from the finding's witness path — how
+    viewers render the acquire → leak trace step by step."""
+    locations = [
+        {
+            "location": {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": max(int(line), 1)},
+                },
+                "message": {"text": str(note)},
+            }
+        }
+        for line, note in finding.code_flow
+    ]
+    return {"threadFlows": [{"locations": locations}]}
 
 
 def to_sarif(

@@ -1,0 +1,88 @@
+"""Thread lifecycle of the TCP space server: pruning and shutdown.
+
+Regression tests for two defects the concurrency lint pass surfaced
+(see docs/concurrency.md): the per-connection thread list grew without
+bound over the life of the server, and ``stop()`` abandoned its threads
+instead of joining them.  Both tests fail against the pre-fix code.
+"""
+
+import socket
+import time
+
+from repro.core import SpaceServer, TupleSpace, XmlCodec
+from repro.core.server import ThreadTimers
+from repro.core.transports import SocketSpaceServer
+
+
+def make_server() -> SocketSpaceServer:
+    codec = XmlCodec()
+    space_server = SpaceServer(TupleSpace(), codec, timers=ThreadTimers())
+    return SocketSpaceServer(space_server, port=0)
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def test_client_thread_list_is_bounded_by_live_connections():
+    tcp = make_server()
+    tcp.start()
+    try:
+        # Churn: each connection is fully closed (and its serve thread
+        # dead) before the next one arrives.
+        for _ in range(8):
+            conn = socket.create_connection(tcp.address)
+            conn.close()
+            assert wait_until(
+                lambda: not any(t.is_alive() for t in tcp._client_threads)
+            )
+        last = socket.create_connection(tcp.address)
+        try:
+            assert wait_until(lambda: tcp.connections_accepted == 9)
+            # Accepting the live connection pruned the eight dead ones.
+            assert len(tcp._client_threads) <= 2
+            assert len(tcp._client_conns) <= 2
+        finally:
+            last.close()
+    finally:
+        tcp.stop()
+
+
+def test_stop_joins_accept_and_client_threads():
+    tcp = make_server()
+    tcp.start()
+    conn = socket.create_connection(tcp.address)
+    try:
+        assert wait_until(lambda: tcp.connections_accepted == 1)
+        assert wait_until(
+            lambda: any(t.is_alive() for t in tcp._client_threads)
+        )
+        serve_threads = list(tcp._client_threads)
+        accept_thread = tcp._accept_thread
+
+        start = time.monotonic()
+        tcp.stop()
+        elapsed = time.monotonic() - start
+
+        # The client thread was parked in recv(); stop() must have shut
+        # the socket down to wake it, then joined it.
+        assert all(not t.is_alive() for t in serve_threads)
+        assert accept_thread is not None and not accept_thread.is_alive()
+        assert elapsed < 5.0
+        assert tcp._client_threads == []
+        assert tcp._client_conns == []
+    finally:
+        conn.close()
+
+
+def test_stop_is_idempotent():
+    tcp = make_server()
+    tcp.start()
+    tcp.stop()
+    tcp.stop()  # no listener left to close, nothing to join: still fine
+    assert tcp._client_threads == []

@@ -1,0 +1,247 @@
+"""Forward-dataflow engine over hand-built and parsed CFGs."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.errors import LintError
+from repro.lint.flow import ForwardAnalysis, build_cfg, run_forward
+from repro.lint.flow.dataflow import event_states, reachable_path
+
+
+class LockSets(ForwardAnalysis):
+    """Held-lock set lattice: join is union, transfer reads stmt calls.
+
+    ``x.acquire()`` adds ``x``; ``x.release()`` removes it; a ``with``
+    enter/exit event on a lock-ish name does the same.
+    """
+
+    def boundary(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, state, event):
+        kind, node = event
+        if kind == "stmt":
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if isinstance(func, ast.Attribute) and isinstance(
+                    func.value, ast.Name
+                ):
+                    if func.attr == "acquire":
+                        return state | {func.value.id}
+                    if func.attr == "release":
+                        return state - {func.value.id}
+        elif kind == "enter" and isinstance(node.context_expr, ast.Name):
+            return state | {node.context_expr.id}
+        elif kind == "exit" and isinstance(node.context_expr, ast.Name):
+            return state - {node.context_expr.id}
+        return state
+
+
+def analyse(source, may_raise=None):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    cfg = build_cfg(func, may_raise=may_raise)
+    analysis = LockSets()
+    in_states, out_states = run_forward(cfg, analysis)
+    return cfg, analysis, in_states, out_states
+
+
+LOCK_OPS_NEVER_RAISE = lambda stmt: not any(  # noqa: E731
+    isinstance(n, ast.Call)
+    and isinstance(n.func, ast.Attribute)
+    and n.func.attr in ("acquire", "release")
+    for n in ast.walk(stmt)
+) and any(isinstance(n, ast.Call) for n in ast.walk(stmt))
+
+
+def test_balanced_pair_exits_clean():
+    cfg, _, in_states, _ = analyse(
+        """
+        def f(lock):
+            lock.acquire()
+            lock.release()
+        """,
+        may_raise=LOCK_OPS_NEVER_RAISE,
+    )
+    assert in_states[cfg.exit] == frozenset()
+
+
+def test_exception_path_carries_the_held_lock():
+    cfg, _, in_states, _ = analyse(
+        """
+        def f(lock):
+            lock.acquire()
+            work()
+            lock.release()
+        """,
+        may_raise=LOCK_OPS_NEVER_RAISE,
+    )
+    # work() may raise while the lock is held, and the exc edge joins
+    # into the exit — so the exit's in-state sees {lock}.
+    assert in_states[cfg.exit] == frozenset({"lock"})
+
+
+def test_try_finally_release_keeps_every_path_clean():
+    cfg, _, in_states, _ = analyse(
+        """
+        def f(lock):
+            lock.acquire()
+            try:
+                work()
+            finally:
+                lock.release()
+        """,
+        may_raise=LOCK_OPS_NEVER_RAISE,
+    )
+    assert in_states[cfg.exit] == frozenset()
+
+
+def test_branch_join_is_the_union_of_both_arms():
+    cfg, _, in_states, _ = analyse(
+        """
+        def f(p, a):
+            if p:
+                a.acquire()
+            done = 1
+        """,
+        may_raise=lambda stmt: False,
+    )
+    assert in_states[cfg.exit] == frozenset({"a"})
+
+
+def test_with_block_releases_on_all_paths():
+    cfg, _, in_states, _ = analyse(
+        """
+        def f(lock, p):
+            with lock:
+                if p:
+                    return 1
+            return 2
+        """,
+        may_raise=lambda stmt: False,
+    )
+    assert in_states[cfg.exit] == frozenset()
+
+
+def test_loop_fixpoint_converges_to_the_union():
+    cfg, _, in_states, _ = analyse(
+        """
+        def f(xs, a):
+            for x in xs:
+                a.acquire()
+            tail = 1
+        """,
+        may_raise=lambda stmt: False,
+    )
+    # Zero or more acquires: the loop header's in-state joins both.
+    header = [b for b in cfg.blocks if b.label == "for"][0]
+    assert in_states[header.id] == frozenset({"a"})
+    assert in_states[cfg.exit] == frozenset({"a"})
+
+
+def test_unreachable_blocks_have_no_state():
+    cfg, _, in_states, out_states = analyse(
+        """
+        def f():
+            return 1
+            never = 1
+        """,
+        may_raise=lambda stmt: False,
+    )
+    dead = [b for b in cfg.blocks if b.label == "dead"][0]
+    assert dead.id not in in_states
+    assert dead.id not in out_states
+
+
+def test_event_states_walks_pre_event_states():
+    cfg, analysis, in_states, _ = analyse(
+        """
+        def f(lock):
+            lock.acquire()
+            lock.release()
+        """,
+        may_raise=lambda stmt: False,
+    )
+    seen = [
+        (ast.unparse(node), state)
+        for _block, (kind, node), state in event_states(cfg, analysis, in_states)
+        if kind == "stmt"
+    ]
+    assert seen == [
+        ("lock.acquire()", frozenset()),
+        ("lock.release()", frozenset({"lock"})),
+    ]
+
+
+def test_reachable_path_finds_a_witness_and_respects_admit():
+    cfg, analysis, in_states, _ = analyse(
+        """
+        def f(lock):
+            lock.acquire()
+            work()
+            lock.release()
+        """,
+        may_raise=LOCK_OPS_NEVER_RAISE,
+    )
+    start = 0
+    path = reachable_path(cfg, start, cfg.exit, admit=lambda b: True)
+    assert path is not None and path[0] == start and path[-1] == cfg.exit
+    assert reachable_path(cfg, start, start, admit=lambda b: True) == [start]
+    assert reachable_path(cfg, cfg.exit, start, admit=lambda b: True) is None
+    # Only blocks where the lock is held admitted: the path must go
+    # through the exc edge rather than past the release.
+    held = reachable_path(
+        cfg,
+        start,
+        cfg.exit,
+        admit=lambda b: "lock" in in_states.get(b, frozenset()),
+    )
+    assert held is not None
+
+
+class _Broken(ForwardAnalysis):
+    """A non-monotone 'lattice' that never converges."""
+
+    def __init__(self):
+        self.n = 0
+
+    def boundary(self):
+        return 0
+
+    def join(self, a, b):
+        self.n += 1
+        return self.n  # always a new value: the fixpoint never settles
+
+    def transfer(self, state, event):
+        return state
+
+
+def test_divergence_guard_raises_lint_error(monkeypatch):
+    import repro.lint.flow.dataflow as df
+
+    monkeypatch.setattr(df, "MAX_STEPS", 50)
+    func = ast.parse(
+        textwrap.dedent(
+            """
+            def f(xs):
+                for x in xs:
+                    y = x
+            """
+        )
+    ).body[0]
+    cfg = build_cfg(func, may_raise=lambda stmt: False)
+    with pytest.raises(LintError):
+        run_forward(cfg, _Broken())
+
+
+def test_forward_analysis_base_is_abstract():
+    base = ForwardAnalysis()
+    for call in (base.boundary, lambda: base.join(1, 2), lambda: base.transfer(1, None)):
+        with pytest.raises(NotImplementedError):
+            call()

@@ -1,0 +1,134 @@
+"""Flow-fact extraction: the summary payload the rules consume.
+
+The facts ride inside ``ModuleSummary`` through the incremental project
+cache, so they must be plain JSON and stable across warm-cache reruns.
+"""
+
+import ast
+import json
+import textwrap
+
+from repro.lint.flow.facts import blocking_dotted, extract_flow
+from repro.lint.flow.locks import LockNamer, global_lock_id, lockish_name
+from tests.lint.project.projutil import run_rules, write_project
+
+
+def facts_for(source, module="repro.net.mod"):
+    source = textwrap.dedent(source)
+    return extract_flow(ast.parse(source), source, module)
+
+
+def test_facts_are_json_serialisable():
+    flow = facts_for(
+        """
+        import threading
+
+        LOCK = threading.Lock()
+
+        class Srv:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._q = []  # lint: guarded-by=self._cond
+
+            def run(self):
+                thread = threading.Thread(target=self.loop)
+                thread.start()
+                thread.join(timeout=1.0)
+
+            def loop(self):
+                with self._cond:
+                    while not self._q:
+                        self._cond.wait()
+                    self._q.pop()
+
+        def leaky(sock):
+            LOCK.acquire()
+            sock.recv(1)
+            LOCK.release()
+        """
+    )
+    assert json.loads(json.dumps(flow)) == flow
+    assert set(flow) == {"locks", "guarded_by", "threads", "functions"}
+    assert flow["guarded_by"] == {"Srv._q": "Srv._cond"}
+    assert flow["locks"]["LOCK"]["kind"] == "Lock"
+    assert flow["locks"]["Srv._cond"]["kind"] == "Condition"
+    leak = flow["functions"]["leaky"]["leaks"][0]
+    assert leak["lock"] == "LOCK"
+    assert leak["path"][0][1] == "'LOCK' acquired here"
+    wait = flow["functions"]["Srv.loop"]["waits"][0]
+    assert wait["in_loop"] is True
+
+
+def test_lock_free_module_has_empty_facts():
+    assert facts_for("def add(a, b):\n    return a + b\n") == {}
+
+
+def test_local_vs_module_level_lock_naming():
+    flow = facts_for(
+        """
+        import threading
+
+        SHARED_LOCK = threading.Lock()
+
+        def f(own_lock):
+            with own_lock:
+                with SHARED_LOCK:
+                    return 1
+        """
+    )
+    acquires = flow["functions"]["f"]["acquires"]
+    # The parameter gets a function-local id (no global ordering id);
+    # the module-level lock keeps its resolvable plain name.
+    assert acquires[0]["lock"] == "f:own_lock"
+    assert acquires[1]["lock"] == "SHARED_LOCK"
+    assert acquires[1]["held"] == ["f:own_lock"]
+    assert global_lock_id("repro.net.mod", "f:own_lock") is None
+    assert (
+        global_lock_id("repro.net.mod", "SHARED_LOCK")
+        == "repro.net.mod.SHARED_LOCK"
+    )
+
+
+def test_namer_maps_self_attributes_to_class_ids():
+    namer = LockNamer(qualname="Srv.run", class_name="Srv")
+    expr = ast.parse("self._lock", mode="eval").body
+    assert namer.canonical(expr) == "Srv._lock"
+    assert lockish_name("self._send_lock")
+    assert not lockish_name("self.buffer")
+
+
+def test_blocking_dotted_receiver_guards():
+    assert blocking_dotted("time.sleep")
+    assert blocking_dotted("sock.recv")
+    assert blocking_dotted("worker.join")
+    assert not blocking_dotted("os.path.join")  # path, not a thread
+    assert not blocking_dotted("cache.get")  # dict-like, not a queue
+    assert blocking_dotted("queue.get")
+    assert not blocking_dotted("asyncio.sleep")  # suspends, not blocks
+
+
+def test_warm_cache_rerun_reproduces_findings(tmp_path):
+    files = {
+        "src/repro/net/__init__.py": "",
+        "src/repro/net/pump.py": """
+            import threading
+
+            LOCK = threading.Lock()
+
+            def pump(frames):
+                LOCK.acquire()
+                deliver(frames)
+                LOCK.release()
+
+            def deliver(frames):
+                return list(frames)
+            """,
+    }
+    write_project(tmp_path, files)
+    cold, _s, cold_stats = run_rules(tmp_path, ["lock-balance"], use_cache=True)
+    warm, _s, warm_stats = run_rules(tmp_path, ["lock-balance"], use_cache=True)
+    assert [f.as_dict() for f in warm] == [f.as_dict() for f in cold]
+    assert len(warm) == 1
+    assert warm[0].code_flow  # the witness path survives the cache
+    assert warm_stats.parsed == 0  # everything served from cache
+    assert cold_stats.parsed > 0

@@ -1,0 +1,327 @@
+"""lock-balance, lock-order and guarded-state: TP + TN + suppression.
+
+Fixtures run through the real project pass (summaries, cache shape,
+suppression indexes) via the shared ``projutil`` helpers, so these are
+acceptance tests for the whole facts→rules chain, not just the rules.
+"""
+
+from repro.lint.findings import Severity
+from tests.lint.project.projutil import run_rules, write_project
+
+
+# -- lock-balance -----------------------------------------------------------
+
+
+def test_lock_balance_flags_leak_on_exception_path(tmp_path):
+    write_project(
+        tmp_path,
+        {
+            "src/repro/net/__init__.py": "",
+            "src/repro/net/pump.py": """
+                import threading
+
+                LOCK = threading.Lock()
+
+                def pump(frames):
+                    LOCK.acquire()
+                    deliver(frames)
+                    LOCK.release()
+
+                def deliver(frames):
+                    return list(frames)
+                """,
+        },
+    )
+    findings, _s, _stats = run_rules(tmp_path, ["lock-balance"])
+    assert len(findings) == 1
+    leak = findings[0]
+    assert leak.rule == "lock-balance"
+    assert leak.severity is Severity.ERROR
+    assert leak.line == 7  # the acquire
+    assert "'LOCK'" in leak.message and "pump" in leak.message
+    # The witness code flow walks acquire -> exit.
+    assert leak.code_flow
+    assert "acquired here" in leak.code_flow[0][1]
+    assert "exit with 'LOCK' held" in leak.code_flow[-1][1]
+
+
+def test_lock_balance_clean_with_with_block_and_try_finally(tmp_path):
+    write_project(
+        tmp_path,
+        {
+            "src/repro/net/__init__.py": "",
+            "src/repro/net/pump.py": """
+                import threading
+
+                LOCK = threading.Lock()
+
+                def pump_with(frames):
+                    with LOCK:
+                        return list(frames)
+
+                def pump_finally(frames):
+                    LOCK.acquire()
+                    try:
+                        return list(frames)
+                    finally:
+                        LOCK.release()
+                """,
+        },
+    )
+    findings, _s, _stats = run_rules(tmp_path, ["lock-balance"])
+    assert findings == []
+
+
+def test_lock_balance_flags_release_of_unheld_lock(tmp_path):
+    write_project(
+        tmp_path,
+        {
+            "src/repro/net/__init__.py": "",
+            "src/repro/net/pump.py": """
+                import threading
+
+                LOCK = threading.Lock()
+
+                def oops():
+                    LOCK.release()
+                """,
+        },
+    )
+    findings, _s, _stats = run_rules(tmp_path, ["lock-balance"])
+    assert len(findings) == 1
+    assert "not held" in findings[0].message
+
+
+def test_lock_balance_suppression_on_acquire_line(tmp_path):
+    write_project(
+        tmp_path,
+        {
+            "src/repro/net/__init__.py": "",
+            "src/repro/net/pump.py": """
+                import threading
+
+                LOCK = threading.Lock()
+
+                def pump(frames):
+                    LOCK.acquire()  # lint: disable=lock-balance
+                    deliver(frames)
+                    LOCK.release()
+
+                def deliver(frames):
+                    return list(frames)
+                """,
+        },
+    )
+    findings, suppressed, _stats = run_rules(tmp_path, ["lock-balance"])
+    assert findings == []
+    assert [f.rule for f in suppressed] == ["lock-balance"]
+
+
+# -- lock-order -------------------------------------------------------------
+
+_ORDER_CYCLE = {
+    "src/repro/net/__init__.py": "",
+    "src/repro/net/locks.py": """
+        import threading
+
+        A_LOCK = threading.Lock()
+        B_LOCK = threading.Lock()
+
+        def forward():
+            with A_LOCK:
+                with B_LOCK:
+                    return 1
+        """,
+    "src/repro/net/worker.py": """
+        from repro.net.locks import A_LOCK, B_LOCK
+
+        def backward():
+            with B_LOCK:
+                with A_LOCK:
+                    return 2
+        """,
+}
+
+
+def test_lock_order_cycle_across_modules_fires(tmp_path):
+    # The locks are *imported* in worker.py: the order graph must unify
+    # them with the defining module's ids, or the cycle is invisible.
+    write_project(tmp_path, dict(_ORDER_CYCLE))
+    findings, _s, _stats = run_rules(tmp_path, ["lock-order"])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "lock-order"
+    assert "deadlock" in finding.message
+    assert "repro.net.locks.A_LOCK" in finding.message
+    assert "repro.net.locks.B_LOCK" in finding.message
+
+
+def test_lock_order_consistent_order_is_clean(tmp_path):
+    files = dict(_ORDER_CYCLE)
+    files["src/repro/net/worker.py"] = """
+        from repro.net.locks import A_LOCK, B_LOCK
+
+        def forward_too():
+            with A_LOCK:
+                with B_LOCK:
+                    return 2
+        """
+    write_project(tmp_path, files)
+    findings, _s, _stats = run_rules(tmp_path, ["lock-order"])
+    assert findings == []
+
+
+def test_lock_order_ignores_function_local_locks(tmp_path):
+    # A lock local to one function cannot deadlock across modules.
+    write_project(
+        tmp_path,
+        {
+            "src/repro/net/__init__.py": "",
+            "src/repro/net/locks.py": """
+                import threading
+
+                A_LOCK = threading.Lock()
+
+                def scratch():
+                    b_lock = threading.Lock()
+                    with A_LOCK:
+                        with b_lock:
+                            return 1
+
+                def scratch2():
+                    b_lock = threading.Lock()
+                    with b_lock:
+                        with A_LOCK:
+                            return 2
+                """,
+        },
+    )
+    findings, _s, _stats = run_rules(tmp_path, ["lock-order"])
+    assert findings == []
+
+
+def test_lock_order_suppression_at_reported_site(tmp_path):
+    files = dict(_ORDER_CYCLE)
+    # The finding lands on the first cycle edge's acquire site — the
+    # inner with in the defining module.
+    files["src/repro/net/locks.py"] = """
+        import threading
+
+        A_LOCK = threading.Lock()
+        B_LOCK = threading.Lock()
+
+        def forward():
+            with A_LOCK:
+                with B_LOCK:  # lint: disable=lock-order
+                    return 1
+        """
+    write_project(tmp_path, files)
+    findings, suppressed, _stats = run_rules(tmp_path, ["lock-order"])
+    assert findings == []
+    assert [f.rule for f in suppressed] == ["lock-order"]
+
+
+# -- guarded-state ----------------------------------------------------------
+
+_GUARDED = {
+    "src/repro/net/__init__.py": "",
+    "src/repro/net/conn.py": """
+        import threading
+
+        class Conn:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rx = []  # lint: guarded-by=self._lock
+
+            def deliver(self, data):
+                with self._lock:
+                    self._rx.append(data)
+
+            def drop(self):
+                self._rx = []
+        """,
+}
+
+
+def test_guarded_state_annotation_violation_is_error(tmp_path):
+    write_project(tmp_path, dict(_GUARDED))
+    findings, _s, _stats = run_rules(tmp_path, ["guarded-state"])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.severity is Severity.ERROR
+    assert finding.line == 14  # the lock-free write in drop()
+    assert "'Conn._rx'" in finding.message
+    assert "guarded-by 'Conn._lock'" in finding.message
+
+
+def test_guarded_state_clean_when_all_writes_hold_the_lock(tmp_path):
+    files = dict(_GUARDED)
+    files["src/repro/net/conn.py"] = """
+        import threading
+
+        class Conn:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rx = []  # lint: guarded-by=self._lock
+
+            def deliver(self, data):
+                with self._lock:
+                    self._rx.append(data)
+
+            def drop(self):
+                with self._lock:
+                    self._rx = []
+        """
+    write_project(tmp_path, files)
+    findings, _s, _stats = run_rules(tmp_path, ["guarded-state"])
+    assert findings == []
+
+
+def test_guarded_state_init_writes_are_exempt(tmp_path):
+    # __init__ assigns the annotated attribute lock-free — the object
+    # is not shared yet, so only drop() may be flagged.
+    write_project(tmp_path, dict(_GUARDED))
+    findings, _s, _stats = run_rules(tmp_path, ["guarded-state"])
+    assert all(f.line != 7 for f in findings)  # the __init__ write
+
+
+def test_guarded_state_inference_warns_on_mixed_writes(tmp_path):
+    write_project(
+        tmp_path,
+        {
+            "src/repro/net/__init__.py": "",
+            "src/repro/net/conn.py": """
+                import threading
+
+                class Conn:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._n = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._n += 1
+
+                    def reset(self):
+                        self._n = 0
+                """,
+        },
+    )
+    findings, _s, _stats = run_rules(tmp_path, ["guarded-state"])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.severity is Severity.WARNING
+    assert finding.line == 14  # the lock-free write in reset()
+    assert "lock-free" in finding.message
+    assert "guarded-by" in finding.message  # suggests the annotation
+
+
+def test_guarded_state_suppression(tmp_path):
+    files = dict(_GUARDED)
+    files["src/repro/net/conn.py"] = files["src/repro/net/conn.py"].replace(
+        "self._rx = []\n", "self._rx = []  # lint: disable=guarded-state\n"
+    )
+    write_project(tmp_path, files)
+    findings, suppressed, _stats = run_rules(tmp_path, ["guarded-state"])
+    assert findings == []
+    assert [f.rule for f in suppressed] == ["guarded-state"]

@@ -91,6 +91,45 @@ def validate_sarif_2_1_0(doc) -> list:
                     suppression.get("kind") in _SUPPRESSION_KINDS,
                     "suppression.kind must be inSource or external",
                 )
+            for code_flow in result.get("codeFlows", []):
+                thread_flows = code_flow.get("threadFlows")
+                need(
+                    isinstance(thread_flows, list) and thread_flows,
+                    "codeFlow.threadFlows must be a non-empty array",
+                )
+                for thread_flow in thread_flows or []:
+                    steps = thread_flow.get("locations")
+                    need(
+                        isinstance(steps, list) and steps,
+                        "threadFlow.locations must be a non-empty array",
+                    )
+                    for step in steps or []:
+                        location = step.get("location")
+                        need(
+                            isinstance(location, dict),
+                            "threadFlowLocation.location must be an object",
+                        )
+                        if not isinstance(location, dict):
+                            continue
+                        physical = location.get("physicalLocation", {})
+                        artifact = physical.get("artifactLocation", {})
+                        need(
+                            isinstance(artifact.get("uri"), str),
+                            "code-flow artifactLocation.uri must be a string",
+                        )
+                        region = physical.get("region", {})
+                        if "startLine" in region:
+                            need(
+                                isinstance(region["startLine"], int)
+                                and region["startLine"] >= 1,
+                                "code-flow region.startLine must be an int >= 1",
+                            )
+                        step_message = location.get("message")
+                        if step_message is not None:
+                            need(
+                                isinstance(step_message.get("text"), str),
+                                "code-flow location.message.text must be a string",
+                            )
     return problems
 
 
@@ -131,6 +170,55 @@ def test_cli_sarif_output_validates(tmp_path, monkeypatch, capsys):
 
     rule_ids = {rule["id"] for rule in doc["runs"][0]["tool"]["driver"]["rules"]}
     assert "proto-const-drift" in rule_ids and "wall-clock" in rule_ids
+
+
+def test_flow_rule_code_flows_validate(tmp_path, monkeypatch, capsys):
+    # A lock-balance leak carries its acquire->exit witness path; it
+    # must come out as a schema-valid SARIF codeFlow.
+    write_project(
+        tmp_path,
+        {
+            "pyproject.toml": """\
+                [tool.repro-lint.project]
+                roots = ["src"]
+                cache = ".cache.json"
+                """,
+            "src/repro/net/__init__.py": "",
+            "src/repro/net/pump.py": (
+                "import threading\n"
+                "\n"
+                "LOCK = threading.Lock()\n"
+                "\n"
+                "def pump(frames):\n"
+                "    LOCK.acquire()\n"
+                "    deliver(frames)\n"
+                "    LOCK.release()\n"
+                "\n"
+                "def deliver(frames):\n"
+                "    return list(frames)\n"
+            ),
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    exit_code = main(["--format", "sarif", "--select", "lock-balance", "src"])
+    doc = json.loads(capsys.readouterr().out)
+
+    assert exit_code == 1
+    assert validate_sarif_2_1_0(doc) == []
+
+    results = doc["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["lock-balance"]
+    flows = results[0]["codeFlows"]
+    assert len(flows) == 1
+    steps = flows[0]["threadFlows"][0]["locations"]
+    texts = [s["location"]["message"]["text"] for s in steps]
+    assert texts[0] == "'LOCK' acquired here"
+    assert "exit with 'LOCK' held" in texts[-1]
+    uris = {
+        s["location"]["physicalLocation"]["artifactLocation"]["uri"]
+        for s in steps
+    }
+    assert uris == {"src/repro/net/pump.py"}
 
 
 def test_to_sarif_on_empty_run_still_validates():

@@ -94,6 +94,7 @@ def test_load_config_reads_repo_pyproject():
         "repro.core.clock",
         "repro.des.realtime",
         "repro.lint.project.timing",
+        "repro.lint.flow.timing",
     ]
 
 
