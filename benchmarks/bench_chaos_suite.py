@@ -1,0 +1,95 @@
+"""Chaos suite: recovery time and message overhead per fault class.
+
+Runs every scenario registered in :data:`repro.chaos.SCENARIOS` — server
+crash/restart, transport drop/delay/dup, network partition, tpwire
+noisy-line burst, lease-expiry storm, slow consumer — on the
+deterministic clock, checks the recovery invariants, and emits
+``BENCH_chaos_suite.json`` (``repro.obs/bench-v1``) with the recovery
+time and the chaos-added message overhead of each class.  Each class is
+also run twice to re-assert the replay-determinism contract that makes
+these numbers reproducible at all.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.chaos import SCENARIOS, FaultKind
+
+SEED = 0
+
+#: The headline overhead counter per fault class: the number that best
+#: captures "extra messages the fault cost us".
+OVERHEAD_KEYS = {
+    FaultKind.CRASH_RESTART: "client_retries",
+    FaultKind.DROP_DELAY_DUP: "client_retries",
+    FaultKind.PARTITION: "retransmissions",
+    FaultKind.NOISY_BURST: "master_retries",
+    FaultKind.LEASE_STORM: "renewals",
+    FaultKind.SLOW_CONSUMER: "jobs_served",
+}
+
+
+def run_class(kind):
+    scenario_type = SCENARIOS[kind]
+    first = scenario_type(seed=SEED).run()
+    again = scenario_type(seed=SEED).run()
+    assert first.fingerprint == again.fingerprint, (
+        f"{kind.value}: chaos run is not replayable"
+    )
+    return first
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    kinds = sorted(SCENARIOS, key=lambda kind: kind.value)
+    return {kind: run_class(kind) for kind in kinds}
+
+
+def test_chaos_suite(benchmark, campaign, report, bench_json):
+    benchmark.pedantic(
+        lambda: SCENARIOS[FaultKind.LEASE_STORM](seed=SEED).run(),
+        rounds=2, iterations=1,
+    )
+
+    table = Table(
+        ["fault class", "recovery s", "overhead metric", "overhead",
+         "invariants", "fingerprint"],
+        title="Chaos suite: recovery per fault class (deterministic clock, "
+              f"seed {SEED})",
+    )
+    rows = []
+    for kind, result in campaign.items():
+        key = OVERHEAD_KEYS[kind]
+        overhead = result.message_overhead[key]
+        held = sum(1 for ok in result.invariants.values() if ok)
+        table.add_row(
+            kind.value, round(result.recovery_seconds, 4), key, overhead,
+            f"{held}/{len(result.invariants)}", result.fingerprint,
+        )
+        rows.append({
+            "fault_class": kind.value,
+            "recovery_seconds": result.recovery_seconds,
+            "overhead_metric": key,
+            "overhead": overhead,
+            "invariants_held": held,
+            "invariants_total": len(result.invariants),
+            "fingerprint": result.fingerprint,
+        })
+    report("chaos_suite", table.render())
+
+    worst = max(result.recovery_seconds for result in campaign.values())
+    bench_json(
+        "chaos_suite",
+        rows=rows,
+        derived={"worst_recovery_seconds": worst},
+        metrics={
+            f"{kind.value}.{name}": float(value)
+            for kind, result in campaign.items()
+            for name, value in result.message_overhead.items()
+        },
+    )
+
+    # Every class recovered inside its budget with all invariants held.
+    for result in campaign.values():
+        result.check()
+    assert worst < 2.0

@@ -1,0 +1,17 @@
+"""Chaos-harness exceptions."""
+
+
+class ChaosError(Exception):
+    """Base class for fault-injection harness errors."""
+
+
+class FaultPlanError(ChaosError):
+    """Malformed fault plan (unknown kind, bad window, bad scope)."""
+
+
+class InjectorError(ChaosError):
+    """An injector could not be armed against its target."""
+
+
+class InvariantViolation(ChaosError):
+    """A chaos scenario's recovery invariant did not hold."""

@@ -1,0 +1,250 @@
+"""Fault injectors for DES-world targets.
+
+An injector binds one :class:`~repro.chaos.plan.FaultSpec` to one target
+object and schedules its begin/end transitions on the simulator clock, so
+injection is just two more events in the deterministic event order.  The
+three concrete injectors cover the DES-visible fault surface:
+
+* :class:`LinkFaultInjector` — partition / drop-delay-dup / corrupt
+  verdicts through the ``net.link.Link.fault`` hook;
+* :class:`BusNoiseInjector` — a noisy-line burst that raises (and later
+  restores) the tpwire :class:`~repro.tpwire.bus.BitErrorModel`
+  probabilities, installing a model when the bus has none;
+* :class:`SlaveCrashInjector` — fail-stop power-off / cold-reset
+  power-on of a :class:`~repro.tpwire.slave.TpwireSlave`.
+
+Lease storms and slow consumers are *workload-shaped* faults: they are
+driven by the scenario itself (see :mod:`repro.chaos.scenarios`), usually
+through :class:`CallbackInjector`.
+
+:func:`arm_plan` maps every spec in a plan onto a registered target by
+scope name and arms the matching injector type, so a scenario reads as
+"here are my components, here is the plan, go".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.chaos.errors import InjectorError
+from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+
+
+class Injector:
+    """Base: schedules ``_begin`` at ``spec.at`` and ``_end`` at ``spec.until``."""
+
+    def __init__(self, sim, spec: FaultSpec):
+        self.sim = sim
+        self.spec = spec
+        self.armed = False
+        self.active = False
+
+    def arm(self) -> "Injector":
+        if self.armed:
+            raise InjectorError(f"{self!r} is already armed")
+        self.armed = True
+        self.sim.at(self.spec.at, self._fire_begin)
+        self.sim.at(self.spec.until, self._fire_end)
+        return self
+
+    def _fire_begin(self) -> None:
+        self.active = True
+        self._begin()
+
+    def _fire_end(self) -> None:
+        self.active = False
+        self._end()
+
+    def _begin(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _end(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.spec.kind.value}, "
+            f"[{self.spec.at}, {self.spec.until}), scope={self.spec.scope!r})"
+        )
+
+
+class LinkFaultInjector(Injector):
+    """Installs a fault verdict on a ``Link`` for the spec's window.
+
+    Verdicts by kind:
+
+    * ``PARTITION`` — every packet is dropped;
+    * ``DROP_DELAY_DUP`` — each packet independently dropped with
+      ``drop_p``, duplicated with ``dup_p``, delayed ``delay`` seconds
+      with ``delay_p`` (draws from the plan stream ``chaos.<scope>``);
+    * ``NOISY_BURST`` — each packet corrupted with ``corrupt_p``
+      (header-marked; receivers decide what a corrupt packet means).
+    """
+
+    KINDS = (FaultKind.PARTITION, FaultKind.DROP_DELAY_DUP, FaultKind.NOISY_BURST)
+
+    def __init__(self, sim, spec: FaultSpec, link, plan: FaultPlan):
+        if spec.kind not in self.KINDS:
+            raise InjectorError(
+                f"link injector cannot apply fault kind {spec.kind.value}"
+            )
+        super().__init__(sim, spec)
+        self.link = link
+        self._rng = plan.stream(f"chaos.{spec.scope or 'link'}")
+        self._prev_fault = None
+        self.drop_p = float(spec.param("drop_p", 0.0))
+        self.dup_p = float(spec.param("dup_p", 0.0))
+        self.delay_p = float(spec.param("delay_p", 0.0))
+        self.delay = float(spec.param("delay", 0.0))
+        self.corrupt_p = float(spec.param("corrupt_p", 0.0))
+
+    def _begin(self) -> None:
+        self._prev_fault = self.link.fault
+        self.link.fault = self._verdict
+
+    def _end(self) -> None:
+        self.link.fault = self._prev_fault
+        self._prev_fault = None
+
+    def _verdict(self, link, packet):
+        kind = self.spec.kind
+        if kind is FaultKind.PARTITION:
+            return "drop"
+        if kind is FaultKind.NOISY_BURST:
+            if self.corrupt_p and self._rng.random() < self.corrupt_p:
+                return "corrupt"
+            return None
+        draw = self._rng.random()
+        if draw < self.drop_p:
+            return "drop"
+        if draw < self.drop_p + self.dup_p:
+            return "dup"
+        if draw < self.drop_p + self.dup_p + self.delay_p:
+            return ("delay", self.delay)
+        return None
+
+
+class BusNoiseInjector(Injector):
+    """Raises tpwire bit-error probabilities for the spec's window.
+
+    Params: ``p_tx`` / ``p_rx`` (burst corruption probabilities, default
+    0.2 each).  If the bus has no :class:`BitErrorModel`, one is
+    installed drawing from the sim stream ``chaos.<scope>.noise`` so the
+    burst stays on its own deterministic stream.
+    """
+
+    def __init__(self, sim, spec: FaultSpec, bus, plan: FaultPlan):
+        if spec.kind is not FaultKind.NOISY_BURST:
+            raise InjectorError(
+                f"bus noise injector cannot apply fault kind {spec.kind.value}"
+            )
+        super().__init__(sim, spec)
+        self.bus = bus
+        self.p_tx = float(spec.param("p_tx", 0.2))
+        self.p_rx = float(spec.param("p_rx", 0.2))
+        self._saved: Optional[tuple[float, float]] = None
+
+    def _begin(self) -> None:
+        if self.bus.error_model is None:
+            from repro.tpwire.bus import BitErrorModel
+
+            scope = self.spec.scope or self.bus.name
+            self.bus.error_model = BitErrorModel(
+                self.sim, stream=f"chaos.{scope}.noise"
+            )
+        model = self.bus.error_model
+        self._saved = (model.p_tx, model.p_rx)
+        model.p_tx = self.p_tx
+        model.p_rx = self.p_rx
+
+    def _end(self) -> None:
+        model = self.bus.error_model
+        if model is not None and self._saved is not None:
+            model.p_tx, model.p_rx = self._saved
+        self._saved = None
+
+
+class SlaveCrashInjector(Injector):
+    """Fail-stops a tpwire slave, then powers it back on (cold reset)."""
+
+    def __init__(self, sim, spec: FaultSpec, slave):
+        if spec.kind is not FaultKind.CRASH_RESTART:
+            raise InjectorError(
+                f"slave crash injector cannot apply fault kind {spec.kind.value}"
+            )
+        super().__init__(sim, spec)
+        self.slave = slave
+
+    def _begin(self) -> None:
+        self.slave.power_off()
+
+    def _end(self) -> None:
+        self.slave.power_on(self.sim.now)
+
+
+class CallbackInjector(Injector):
+    """Scenario-supplied begin/end callbacks on the spec's window.
+
+    The escape hatch for workload-shaped faults (lease storms, slow
+    consumers) where the "injection" is a change in agent behaviour
+    rather than a mutation of a transport object.
+    """
+
+    def __init__(
+        self,
+        sim,
+        spec: FaultSpec,
+        on_begin: Callable[[], None],
+        on_end: Optional[Callable[[], None]] = None,
+    ):
+        super().__init__(sim, spec)
+        self._on_begin = on_begin
+        self._on_end = on_end
+
+    def _begin(self) -> None:
+        self._on_begin()
+
+    def _end(self) -> None:
+        if self._on_end is not None:
+            self._on_end()
+
+
+def make_injector(sim, spec: FaultSpec, target, plan: FaultPlan) -> Injector:
+    """Pick the injector type for ``spec`` against ``target`` (duck-typed)."""
+    if spec.kind is FaultKind.CRASH_RESTART and hasattr(target, "power_off"):
+        return SlaveCrashInjector(sim, spec, target)
+    if spec.kind is FaultKind.NOISY_BURST and hasattr(target, "error_model"):
+        return BusNoiseInjector(sim, spec, target, plan)
+    if spec.kind in LinkFaultInjector.KINDS and hasattr(target, "fault"):
+        return LinkFaultInjector(sim, spec, target, plan)
+    raise InjectorError(
+        f"no injector for fault kind {spec.kind.value} "
+        f"against {type(target).__name__}"
+    )
+
+
+def arm_plan(
+    sim,
+    plan: FaultPlan,
+    targets: dict,
+    skip_kinds: tuple = (),
+) -> list[Injector]:
+    """Arm one injector per plan spec, resolving targets by scope name.
+
+    ``skip_kinds`` lists fault kinds the caller drives itself (e.g. a
+    scenario handling :attr:`FaultKind.LEASE_STORM` as workload); specs
+    of those kinds are left untouched.  A spec whose scope matches no
+    registered target is an error — silent no-op chaos is worse than a
+    crash.
+    """
+    armed: list[Injector] = []
+    for spec in plan:
+        if spec.kind in skip_kinds:
+            continue
+        if spec.scope not in targets:
+            raise InjectorError(
+                f"fault scope {spec.scope!r} matches no registered target "
+                f"(have: {sorted(targets)})"
+            )
+        armed.append(make_injector(sim, spec, targets[spec.scope], plan).arm())
+    return armed

@@ -1,0 +1,198 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is the replayable unit of chaos: a master seed plus
+an ordered tuple of :class:`FaultSpec` entries, each naming a fault
+class, a trigger time, a duration, a scope (which link / node / server
+the fault hits) and free-form scalar parameters.  Plans are plain data —
+they serialise to JSON-safe dicts and back bit-for-bit — so a chaos run
+is reproduced by re-running the same scenario with the same plan, and a
+failing campaign can commit the offending plan next to its regression
+test.
+
+Randomness inside injectors never touches the global generator: every
+injector draws from :meth:`FaultPlan.stream`, which derives an
+independent ``random.Random`` from the plan seed and the stream name
+exactly like :class:`repro.des.random_streams.StreamRegistry` does, so
+adding a fault never perturbs the draws of another.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.chaos.errors import FaultPlanError
+
+
+class FaultKind(enum.Enum):
+    """The six fault classes of the chaos campaign."""
+
+    CRASH_RESTART = "crash-restart"      #: node/server down, then back
+    PARTITION = "partition"              #: a link passes nothing
+    NOISY_BURST = "noisy-burst"          #: elevated frame corruption
+    DROP_DELAY_DUP = "drop-delay-dup"    #: transport message mangling
+    LEASE_STORM = "lease-storm"          #: mass simultaneous lease expiry
+    SLOW_CONSUMER = "slow-consumer"      #: a consumer stalls
+
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what, when, for how long, against which target.
+
+    ``params`` carries per-kind knobs (drop probability, burst error
+    rate, storm size, ...) as JSON-safe scalars.
+    """
+
+    kind: FaultKind
+    at: float
+    duration: float
+    scope: str = ""
+    params: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise FaultPlanError(f"fault trigger time must be >= 0, got {self.at}")
+        if self.duration < 0:
+            raise FaultPlanError(
+                f"fault duration must be >= 0, got {self.duration}"
+            )
+        for key, value in self.params:
+            if not isinstance(key, str):
+                raise FaultPlanError(f"param key {key!r} is not a string")
+            if value is not None and not isinstance(value, _SCALAR_TYPES):
+                raise FaultPlanError(
+                    f"param {key}={value!r} is not a JSON-safe scalar"
+                )
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def active_at(self, now: float) -> bool:
+        """Window membership: closed at the start, open at the end."""
+        return self.at <= now < self.until
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "at": self.at,
+            "duration": self.duration,
+            "scope": self.scope,
+            "params": {key: value for key, value in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        try:
+            kind = FaultKind(data["kind"])
+        except (KeyError, ValueError):
+            raise FaultPlanError(f"unknown fault kind in {data!r}")
+        return cls(
+            kind=kind,
+            at=float(data.get("at", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            scope=str(data.get("scope", "")),
+            params=tuple(sorted(dict(data.get("params", {})).items())),
+        )
+
+
+def fault(
+    kind: FaultKind,
+    at: float,
+    duration: float = 0.0,
+    scope: str = "",
+    **params: Any,
+) -> FaultSpec:
+    """Convenience constructor: ``fault(FaultKind.PARTITION, 5, 3, "link0")``."""
+    return FaultSpec(
+        kind=kind,
+        at=at,
+        duration=duration,
+        scope=scope,
+        params=tuple(sorted(params.items())),
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered schedule of faults — the replayable chaos unit."""
+
+    seed: int
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        ordered = tuple(sorted(self.faults, key=lambda f: (f.at, f.scope)))
+        object.__setattr__(self, "faults", ordered)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def of_kind(self, kind: FaultKind) -> tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.faults if spec.kind is kind)
+
+    def for_scope(self, scope: str) -> tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.faults if spec.scope == scope)
+
+    def stream(self, name: str) -> random.Random:
+        """Independent deterministic RNG for one injector/component."""
+        digest = hashlib.sha256(
+            f"chaos:{self.seed}:{name}".encode("utf-8")
+        ).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    @property
+    def horizon(self) -> float:
+        """End of the last fault window (0.0 for an empty plan)."""
+        return max((spec.until for spec in self.faults), default=0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if "seed" not in data:
+            raise FaultPlanError("fault plan needs a seed")
+        return cls(
+            seed=int(data["seed"]),
+            faults=tuple(
+                FaultSpec.from_dict(item) for item in data.get("faults", ())
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content digest (plans compare across processes by it)."""
+        canonical = repr(
+            (self.seed, tuple(sorted(spec.to_dict().items(), key=str)
+                              for spec in self.faults))
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def single_fault_plan(
+    kind: FaultKind,
+    at: float,
+    duration: float,
+    scope: str = "",
+    seed: int = 0,
+    **params: Any,
+) -> FaultPlan:
+    """Plan with exactly one fault — the shape most scenario tests use."""
+    return FaultPlan(seed=seed, faults=(fault(kind, at, duration, scope, **params),))

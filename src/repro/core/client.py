@@ -13,7 +13,12 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.core.clock import Clock, SystemClock
-from repro.core.errors import ConnectionClosedError, ProtocolError, SpaceError
+from repro.core.errors import (
+    ConnectionClosedError,
+    ProtocolError,
+    RequestTimeoutError,
+    SpaceError,
+)
 from repro.core.protocol import (
     Message,
     MessageType,
@@ -32,22 +37,32 @@ class SpaceClient:
         codec: XmlCodec,
         poll_interval: float = 0.005,
         clock: Optional[Clock] = None,
+        request_timeout: Optional[float] = None,
     ):
         """``clock`` paces the response polling loop.
 
         Defaults to the wall clock; inject a
         :class:`~repro.core.clock.ManualClock` (tests) or any other
         :class:`~repro.core.clock.Clock` to make polling deterministic.
+
+        ``request_timeout`` bounds how long a request may poll for its
+        response before raising :class:`RequestTimeoutError` — without
+        it a dropped response means polling forever.  ``None`` keeps the
+        historical wait-forever behaviour.
         """
         self.connection = connection
         self.codec = codec
         self.poll_interval = poll_interval
         self.clock = clock if clock is not None else SystemClock()
+        self.request_timeout = request_timeout
         self._parser = StreamParser(codec)
         self._next_request_id = 0
         self._notify_handlers: dict[int, Callable] = {}
         self.requests_sent = 0
         self.events_received = 0
+        #: Responses for earlier requests (duplicates, or replies that
+        #: arrived after their request timed out), discarded on sight.
+        self.stale_responses = 0
 
     # -- space operations ---------------------------------------------------
 
@@ -56,23 +71,31 @@ class SpaceClient:
         entry: Any,
         lease: Optional[float] = None,
         created_at: Optional[float] = None,
+        op_key: Optional[str] = None,
     ) -> dict:
-        """Write an entry; returns ``{"lease_id": ..., "granted": ...}``.
+        """Write an entry; returns ``{"lease_id": ..., "granted": ..., "dup": ...}``.
 
         ``created_at`` (a clock-synchronized timestamp) makes the entry's
         lifetime count from its creation at the client rather than from
         its arrival at the server.
+
+        ``op_key`` is an idempotency key: retrying the write with the
+        same key after a lost acknowledgement returns the original grant
+        (``dup`` True) instead of storing a second tuple.
         """
         params = {}
         if lease is not None:
             params["lease"] = lease
         if created_at is not None:
             params["created_at"] = created_at
+        if op_key is not None:
+            params["op_key"] = op_key
         reply = self._request(MessageType.WRITE, params, entry)
         self._expect(reply, MessageType.WRITE_ACK)
         return {
             "lease_id": reply.param_int("lease_id"),
             "granted": reply.param_float("granted"),
+            "dup": bool(reply.param_int("dup")),
         }
 
     def read(self, template: Any, timeout: Optional[float] = None) -> Optional[Any]:
@@ -128,6 +151,9 @@ class SpaceClient:
         """Drain pending notify events without issuing a request."""
         dispatched = 0
         for message in self._parser.feed(self.connection.recv_bytes()):
+            if message.msg_type is not MessageType.NOTIFY_EVENT:
+                self.stale_responses += 1
+                continue
             self._dispatch_event(message)
             dispatched += 1
         return dispatched
@@ -154,11 +180,21 @@ class SpaceClient:
         return self._await_response(request_id)
 
     def _await_response(self, request_id: int) -> Message:
+        deadline = (
+            None
+            if self.request_timeout is None
+            else self.clock.now() + self.request_timeout
+        )
         while True:
             data = self.connection.recv_bytes()
             if not data:
                 if getattr(self.connection, "closed", False):
                     raise ConnectionClosedError("connection closed mid-request")
+                if deadline is not None and self.clock.now() >= deadline:
+                    raise RequestTimeoutError(
+                        f"no response to request {request_id} within "
+                        f"{self.request_timeout}s"
+                    )
                 self.clock.sleep(self.poll_interval)
                 continue
             for message in self._parser.feed(data):
@@ -169,6 +205,11 @@ class SpaceClient:
                     if message.msg_type is MessageType.ERROR:
                         raise SpaceError(message.params.get("text", "server error"))
                     return message
+                if message.request_id < request_id:
+                    # A duplicated response, or one that arrived after
+                    # its request timed out: harmless, drop it.
+                    self.stale_responses += 1
+                    continue
                 raise ProtocolError(
                     f"response for unknown request {message.request_id}"
                 )

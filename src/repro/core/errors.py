@@ -31,3 +31,11 @@ class ConnectionClosedError(SpaceError, ConnectionError):
 
 class RmiError(SpaceError):
     """Registry/skeleton misuse (unknown name, unexposed method)."""
+
+
+class RequestTimeoutError(SpaceError):
+    """A client request got no response within its deadline."""
+
+
+class CircuitOpenError(SpaceError):
+    """The circuit breaker is open; the operation was not attempted."""

@@ -86,16 +86,33 @@ class SpaceServer:
         timers: Optional[Timers] = None,
         name: str = "SpaceServer",
         obs=None,
+        lease_epoch: int = 0,
     ):
+        """``lease_epoch`` is an incarnation number for lease ids.  A
+        restarted front end must pass a fresh epoch: otherwise its id
+        counter restarts at 1 and a client holding a pre-crash lease id
+        would silently renew some *other* post-restart grant instead of
+        learning that its lease table is gone.
+        """
         self.space = space
         self.codec = codec
         self.timers = timers if timers is not None else NullTimers()
         self.name = name
         self._leases: dict[int, Lease] = {}
-        self._next_lease_id = 0
+        #: ``id(lease) -> lease_id`` so a duplicate idempotent write acks
+        #: the original id (safe: ``_leases`` keeps every lease alive).
+        self._lease_ids: dict[int, int] = {}
+        self.lease_epoch = lease_epoch
+        self._next_lease_id = lease_epoch << 32
         self._registrations: dict[int, Any] = {}
+        #: Parked blocking requests per session (``id(session)`` keyed):
+        #: cancelled when the transport reports the session closed, so a
+        #: dead connection's TAKE can never consume a tuple and send it
+        #: into the void.
+        self._parked: dict[int, list] = {}
         self.requests_handled = 0
         self.errors_sent = 0
+        self.waiters_reaped = 0
         # -- observability (nullable; stamped with the space's clock)
         self.obs = obs
         if obs is not None:
@@ -136,6 +153,7 @@ class SpaceServer:
             raise ProtocolError("WRITE carries no entry")
         lease_duration = message.param_float("lease")
         created_at = message.param_float("created_at")
+        op_key = message.params.get("op_key")
         dead_on_arrival = False
         if lease_duration is not None and created_at is not None:
             # The entry's lifetime counts from its creation at the client
@@ -144,15 +162,19 @@ class SpaceServer:
             remaining = lease_duration - age
             dead_on_arrival = remaining <= 0
             lease_duration = max(self.EXPIRED_LEASE, remaining)
-        lease = self.space.write(message.item, lease=lease_duration)
-        if dead_on_arrival:
+        dups_before = self.space.duplicate_writes
+        lease = self.space.write(message.item, lease=lease_duration, op_key=op_key)
+        duplicate = self.space.duplicate_writes > dups_before
+        if dead_on_arrival and not duplicate:
             lease.cancel()
         lease_id = self._register_lease(lease)
-        session.send(Message(
-            MessageType.WRITE_ACK,
-            message.request_id,
-            {"lease_id": lease_id, "granted": lease.duration},
-        ))
+        params = {"lease_id": lease_id, "granted": lease.duration}
+        if op_key is not None:
+            # Only idempotent writes report duplicate status; plain
+            # writes keep the historical ack shape (and wire length —
+            # the cosim golden traces are byte-exact).
+            params["dup"] = int(duplicate)
+        session.send(Message(MessageType.WRITE_ACK, message.request_id, params))
 
     def _handle_blocking(self, session, message: Message, mode: WaitMode) -> None:
         if message.item is None:
@@ -195,6 +217,27 @@ class SpaceServer:
             session.send(Message(MessageType.RESULT_NULL, message.request_id))
 
         state["timer"] = self.timers.call_later(timeout, on_timeout)
+        parked = self._parked.setdefault(id(session), [])
+        parked[:] = [entry for entry in parked if not entry[0]["done"]]
+        parked.append((state, waiter))
+
+    def session_closed(self, session) -> None:
+        """Cancel the parked blocking requests of a dead session.
+
+        Transports call this when a connection dies.  Without it, a
+        parked TAKE waiter from the dead connection would still fire on
+        the next matching write — consuming the tuple and sending the
+        response into the void, which a surviving client observes as a
+        lost acknowledged write.
+        """
+        for state, waiter in self._parked.pop(id(session), ()):
+            if state["done"]:
+                continue
+            state["done"] = True
+            waiter.cancel()
+            if state["timer"] is not None:
+                state["timer"].cancel()
+            self.waiters_reaped += 1
 
     def _handle_read(self, session, message: Message) -> None:
         self._handle_blocking(session, message, WaitMode.READ)
@@ -278,8 +321,12 @@ class SpaceServer:
     # -- helpers ----------------------------------------------------------------
 
     def _register_lease(self, lease: Lease) -> int:
+        known = self._lease_ids.get(id(lease))
+        if known is not None:
+            return known
         self._next_lease_id += 1
         self._leases[self._next_lease_id] = lease
+        self._lease_ids[id(lease)] = self._next_lease_id
         return self._next_lease_id
 
     def _lease_for(self, message: Message) -> Lease:

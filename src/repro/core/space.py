@@ -30,6 +30,7 @@ import enum
 import heapq
 import itertools
 import math
+from collections import OrderedDict
 from typing import Any, Callable, Optional
 
 from repro.core.clock import Clock, SystemClock
@@ -47,7 +48,7 @@ class WaitMode(enum.Enum):
 class _Record:
     """Internal storage slot for one item."""
 
-    __slots__ = ("seq", "item", "lease", "txn_owner", "taken_by")
+    __slots__ = ("seq", "item", "lease", "txn_owner", "taken_by", "op_key")
 
     def __init__(self, seq: int, item: Any, lease: Lease):
         self.seq = seq
@@ -57,6 +58,8 @@ class _Record:
         self.txn_owner = None
         #: transaction holding a provisional take (invisible until resolved)
         self.taken_by = None
+        #: idempotency key of the write that created this record, if any
+        self.op_key = None
 
 
 class Waiter:
@@ -119,6 +122,13 @@ class TupleSpace:
         self._waiters = TemplateTable()
         self._registrations = TemplateTable()
         self._registration_ids = itertools.count(1)
+        #: Completed idempotent writes: ``op_key -> granted lease``.  The
+        #: entry outlives its record (a retried write after the tuple was
+        #: taken or expired must NOT resurrect it), capped FIFO so the
+        #: table cannot grow without bound.
+        self._op_keys: OrderedDict[str, Lease] = OrderedDict()
+        self.op_key_retention = 4096
+        self.duplicate_writes = 0
         self.stats = SpaceStats()
         #: storage observers (e.g. the persistence journal); each gets
         #: ``item_stored(seq, item, expires_at)`` / ``item_dropped(seq)``.
@@ -152,11 +162,35 @@ class TupleSpace:
 
     # -- write -------------------------------------------------------------
 
-    def write(self, item: Any, lease: Optional[float] = None, txn=None) -> Lease:
-        """Store ``item`` under a lease; returns the granted lease."""
+    def write(
+        self,
+        item: Any,
+        lease: Optional[float] = None,
+        txn=None,
+        op_key: Optional[str] = None,
+    ) -> Lease:
+        """Store ``item`` under a lease; returns the granted lease.
+
+        ``op_key`` makes the write idempotent: a second write carrying
+        the same key is a duplicate delivery (a client retry after a
+        lost acknowledgement) and returns the original grant without
+        storing anything — even if the original tuple has meanwhile been
+        taken or expired, because the operation it retries *did* happen.
+        """
         if item is None:
             raise SpaceError("cannot write None to a space")
         self._check_txn(txn)
+        if op_key is not None:
+            if txn is not None:
+                raise SpaceError("op_key cannot be combined with a transaction")
+            existing = self._op_keys.get(op_key)
+            if existing is not None:
+                self.duplicate_writes += 1
+                if self.obs is not None:
+                    self.obs.tracer.event(
+                        "space", "write-dup", space=self.name, op_key=op_key
+                    )
+                return existing
         self._seq += 1
         record = _Record(self._seq, item, None)
         record.lease = self.leases.grant(
@@ -165,6 +199,11 @@ class TupleSpace:
             on_renew=lambda l, seq=record.seq: self._reschedule_expiry(seq, l),
         )
         record.txn_owner = txn
+        if op_key is not None:
+            record.op_key = op_key
+            self._op_keys[op_key] = record.lease
+            while len(self._op_keys) > self.op_key_retention:
+                self._op_keys.popitem(last=False)
         self._records[record.seq] = record
         self._index.add(record)
         expires_at = record.lease.expires_at

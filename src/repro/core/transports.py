@@ -49,6 +49,7 @@ class LocalConnection:
 
     def __init__(self, server: SpaceServer, registry: Optional[Registry] = None):
         self.codec = server.codec
+        self._server = server
         if registry is None:
             registry = Registry()
             registry.bind("SpaceServer", server, exposed=["handle"])
@@ -76,7 +77,12 @@ class LocalConnection:
         return data
 
     def close(self) -> None:
+        if self.closed:
+            return
         self.closed = True
+        # Reap blocking requests parked by this session: a closed
+        # connection must never consume a later write.
+        self._server.session_closed(self._session)
 
 
 class SocketSpaceServer:
@@ -231,6 +237,8 @@ class SocketSpaceServer:
         except (OSError, ValueError):
             return
         finally:
+            with self._lock:
+                self.server.session_closed(session)
             try:
                 conn.close()
             except OSError:

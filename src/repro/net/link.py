@@ -4,6 +4,13 @@ A :class:`Link` is simplex (NS-2 style); :class:`DuplexLink` bundles two.
 Serialisation time is ``packet.bits / bandwidth_bps``; packets then
 propagate for ``delay`` seconds.  The queue holds packets waiting for the
 transmitter and drops arrivals beyond ``queue_limit`` (drop-tail).
+
+Fault injection hooks in at :meth:`Link.send`: when ``link.fault`` is set
+(a callable ``fault(link, packet)``), its verdict — ``None``/``"pass"``,
+``"drop"``, ``"dup"``, ``"corrupt"`` or ``("delay", seconds)`` — is
+applied before the packet reaches the queue.  Drop and corrupt events are
+counted (``drops``/``corrupts``) and exported as ``repro.obs`` counters
+when the simulator carries an observability context.
 """
 
 from __future__ import annotations
@@ -43,19 +50,69 @@ class Link:
         self.throughput = RateMonitor(sim, name=f"{self}.throughput")
         self.queue_monitor = TimeWeightedMonitor(sim, name=f"{self}.qlen")
         self.drops = 0
+        self.corrupts = 0
+        self.fault_drops = 0
+        self.fault_dups = 0
+        self.fault_delays = 0
+        #: Optional fault hook ``fault(link, packet) -> verdict`` consulted
+        #: on every ``send``; see module docstring for verdicts.
+        self.fault = None
+        obs = getattr(sim, "obs", None)
+        if obs is not None:
+            self._ctr_drops = obs.metrics.counter(f"{self}.drops")
+            self._ctr_corrupts = obs.metrics.counter(f"{self}.corrupts")
+        else:
+            self._ctr_drops = None
+            self._ctr_corrupts = None
         src_node.register_link(self)
 
     # -- sending -----------------------------------------------------------
 
     def send(self, packet: Packet) -> bool:
         """Enqueue ``packet`` for transmission; ``False`` if dropped."""
+        fault = self.fault
+        if fault is not None:
+            verdict = fault(self, packet)
+            if verdict is not None and verdict != "pass":
+                return self._apply_fault(verdict, packet)
+        return self._enqueue(packet)
+
+    def _apply_fault(self, verdict, packet: Packet) -> bool:
+        action = verdict[0] if isinstance(verdict, tuple) else verdict
+        if action == "drop":
+            self.fault_drops += 1
+            self._record_drop(packet)
+            return False
+        if action == "corrupt":
+            self.corrupts += 1
+            if self._ctr_corrupts is not None:
+                self._ctr_corrupts.inc()
+            packet.headers["corrupted"] = True
+            return self._enqueue(packet)
+        if action == "dup":
+            self.fault_dups += 1
+            accepted = self._enqueue(packet)
+            self._enqueue(packet.copy())
+            return accepted
+        if action == "delay":
+            self.fault_delays += 1
+            self.sim.after(float(verdict[1]), self._enqueue, packet)
+            return True
+        raise ValueError(f"unknown link fault verdict {verdict!r}")
+
+    def _record_drop(self, packet: Packet) -> None:
+        self.drops += 1
+        if self._ctr_drops is not None:
+            self._ctr_drops.inc()
+        if self.sim.trace_enabled:
+            self.sim.trace.record(
+                self.sim.now, "d", self.src_node.name, self.dst_node.name,
+                packet.kind, packet.size, uid=packet.uid,
+            )
+
+    def _enqueue(self, packet: Packet) -> bool:
         if self.queue_limit is not None and len(self._queue) >= self.queue_limit:
-            self.drops += 1
-            if self.sim.trace_enabled:
-                self.sim.trace.record(
-                    self.sim.now, "d", self.src_node.name, self.dst_node.name,
-                    packet.kind, packet.size, uid=packet.uid,
-                )
+            self._record_drop(packet)
             return False
         self._queue.append(packet)
         self.queue_monitor.set(len(self._queue))

@@ -62,6 +62,10 @@ class TpwireSlave:
         self.broadcast_selected = False
         self._last_valid_tx: float = sim.now
         self._reset_until: float = -1.0
+        #: Fail-stop switch: a powered-off slave neither observes nor
+        #: answers frames (its master sees pure timeouts).  Restoring
+        #: power performs a cold reset, exactly like a physical brown-out.
+        self.powered = True
         self.resets = 0
         self.executed_frames = 0
         #: bytes left in an armed DMA write burst (0 = no burst active)
@@ -133,8 +137,20 @@ class TpwireSlave:
 
     # -- frame handling ------------------------------------------------------------
 
+    def power_off(self) -> None:
+        """Fail-stop the slave: it goes dark until :meth:`power_on`."""
+        self.powered = False
+
+    def power_on(self, now: float) -> None:
+        """Restore power; the slave cold-resets at ``now``."""
+        if not self.powered:
+            self.powered = True
+            self._perform_reset(now, reason="power-on")
+
     def observe_tx(self, frame: TxFrame, now: float) -> None:
         """A valid TX frame passed through this slave: feed the watchdog."""
+        if not self.powered:
+            return
         self._service_watchdog(now)
         if now >= self._reset_until:
             self._last_valid_tx = now
@@ -143,8 +159,10 @@ class TpwireSlave:
         """Execute ``frame`` if it applies to this slave.
 
         Returns the RX frame to send back, or ``None`` when the slave does
-        not respond (not selected, in reset, or a broadcast).
+        not respond (powered off, not selected, in reset, or a broadcast).
         """
+        if not self.powered:
+            return None
         if self.is_in_reset(now):
             return None
         self.observe_tx(frame, now)

@@ -1,0 +1,144 @@
+"""Fig. 1 redundant actuators under randomized injected failures.
+
+Property tests over the paper's failover protocol: a control agent posts
+the start tuple, a chain of redundant actuators races for it, and a
+:class:`FaultPlan` of CRASH_RESTART specs (delivered through
+:class:`CallbackInjector`, one per doomed actuator) fail-stops a random
+subset of them at staggered times.  Whatever the failure pattern, the
+protocol must converge so that **exactly one surviving actuator is
+operating** — and because everything runs on the DES clock with
+plan-derived randomness only, replaying the same draw must reproduce the
+identical run bit for bit.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import CallbackInjector, FaultKind, FaultPlan, fault
+from repro.core.agents import ActuatorAgent, ControlAgent
+from repro.core.clock import SimClock
+from repro.core.space import TupleSpace
+from repro.des import Simulator
+
+GROUP = "press"
+TICK = 0.5
+FIRST_FAILURE_AT = 2.0   # past the start-tuple race
+FAILURE_SPACING = 1.5    # wide enough for each cascade to settle
+HORIZON = 14.0
+
+
+def failure_plan(seed, fail_ranks):
+    return FaultPlan(seed=seed, faults=tuple(
+        fault(
+            FaultKind.CRASH_RESTART,
+            at=FIRST_FAILURE_AT + FAILURE_SPACING * index,
+            scope=f"actuator.{rank}",
+        )
+        for index, rank in enumerate(sorted(fail_ranks))
+    ))
+
+
+def run_failover(n_actuators, fail_ranks, seed):
+    sim = Simulator(seed=seed)
+    space = TupleSpace(clock=SimClock(sim), name="fig1-chaos")
+    control = ControlAgent(sim, space, GROUP, poll_interval=0.1)
+    actuators = [
+        ActuatorAgent(sim, space, GROUP, rank=rank, tick=TICK)
+        for rank in range(n_actuators)
+    ]
+
+    def fail_stop(agent):
+        # The injector models fail-stop: the agent dies at its next loop
+        # check, exactly like the built-in ``fail_at`` path.
+        agent.fail_at = sim.now
+
+    for spec in failure_plan(seed, fail_ranks):
+        rank = int(spec.scope.rsplit(".", 1)[1])
+        CallbackInjector(
+            sim, spec,
+            on_begin=lambda agent=actuators[rank]: fail_stop(agent),
+        ).arm()
+
+    control.start()
+    for actuator in actuators:
+        actuator.start()
+    sim.run(until=HORIZON)
+    return control, actuators
+
+
+def run_digest(n_actuators, fail_ranks, seed):
+    """Canonical digest of one run: per-actuator state transitions."""
+    _control, actuators = run_failover(n_actuators, fail_ranks, seed)
+    canonical = repr(tuple(
+        (
+            actuator.rank,
+            actuator.failed,
+            actuator.state,
+            actuator.position,
+            actuator.ticks_executed,
+            tuple((round(t, 9), state) for t, state in actuator.history),
+        )
+        for actuator in actuators
+    ))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@st.composite
+def failure_patterns(draw):
+    n_actuators = draw(st.integers(min_value=2, max_value=4))
+    fail_ranks = draw(st.sets(
+        st.integers(min_value=0, max_value=n_actuators - 1),
+        max_size=n_actuators - 1,
+    ))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    return n_actuators, frozenset(fail_ranks), seed
+
+
+@given(failure_patterns())
+@settings(max_examples=20, deadline=None)
+def test_exactly_one_survivor_operates(pattern):
+    n_actuators, fail_ranks, seed = pattern
+    control, actuators = run_failover(n_actuators, fail_ranks, seed)
+
+    # The start tuple was taken by exactly one racer, unblocking control.
+    assert control.control_started_at is not None
+    winners = [a for a in actuators if a.history
+               and a.history[0][1] == ActuatorAgent.OPERATING]
+    assert len(winners) == 1
+
+    # Every doomed actuator died; nobody else did.
+    assert {a.rank for a in actuators if a.failed} == set(fail_ranks)
+
+    # The failover cascade converged: exactly one survivor operating,
+    # every other survivor still shadowing, and the operator made
+    # progress after the last failure.
+    survivors = [a for a in actuators if not a.failed]
+    operating = [a for a in survivors if a.state == ActuatorAgent.OPERATING]
+    assert len(operating) == 1
+    assert operating[0].position == 0
+    assert operating[0].ticks_executed > 0
+    for backup in survivors:
+        if backup is not operating[0]:
+            assert backup.state == ActuatorAgent.BACKUP
+
+
+@given(failure_patterns())
+@settings(max_examples=8, deadline=None)
+def test_runs_replay_bit_identically(pattern):
+    n_actuators, fail_ranks, seed = pattern
+    assert (run_digest(n_actuators, fail_ranks, seed)
+            == run_digest(n_actuators, fail_ranks, seed))
+
+
+@given(failure_patterns())
+@settings(max_examples=8, deadline=None)
+def test_failures_change_the_run(pattern):
+    # A run with failures must be distinguishable from the undisturbed
+    # one (the digest captures the fault's effect, not just its plan).
+    n_actuators, fail_ranks, seed = pattern
+    if not fail_ranks:
+        return
+    assert (run_digest(n_actuators, fail_ranks, seed)
+            != run_digest(n_actuators, frozenset(), seed))

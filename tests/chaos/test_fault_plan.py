@@ -1,0 +1,180 @@
+"""FaultPlan / FaultSpec: validation, serialisation, streams, fingerprints.
+
+The plan is the replayable unit of chaos, so the properties under test
+here are the contract everything else leans on: plans are plain ordered
+data, they round-trip through JSON-safe dicts bit-for-bit, their
+fingerprints are content digests (stable across processes, sensitive to
+every field), and their named random streams are independent of each
+other and of insertion order.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    fault,
+    single_fault_plan,
+)
+
+
+# -- FaultSpec validation ----------------------------------------------------
+
+
+def test_negative_trigger_time_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(kind=FaultKind.PARTITION, at=-0.5, duration=1.0)
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(kind=FaultKind.PARTITION, at=0.0, duration=-1.0)
+
+
+def test_non_string_param_key_rejected():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(
+            kind=FaultKind.NOISY_BURST, at=0.0, duration=1.0,
+            params=((3, 0.5),),
+        )
+
+
+def test_non_scalar_param_value_rejected():
+    with pytest.raises(FaultPlanError):
+        fault(FaultKind.NOISY_BURST, at=0.0, duration=1.0, rates=[0.1, 0.2])
+
+
+def test_window_is_closed_start_open_end():
+    spec = fault(FaultKind.PARTITION, at=1.0, duration=2.0)
+    assert spec.until == pytest.approx(3.0)
+    assert not spec.active_at(0.999)
+    assert spec.active_at(1.0)       # closed at the start
+    assert spec.active_at(2.999)
+    assert not spec.active_at(3.0)   # open at the end
+
+
+def test_instant_fault_is_never_active():
+    spec = fault(FaultKind.LEASE_STORM, at=1.0)
+    assert spec.duration == 0
+    assert not spec.active_at(1.0)
+
+
+def test_param_lookup_with_default():
+    spec = fault(FaultKind.DROP_DELAY_DUP, at=0.0, duration=1.0, drop_p=0.25)
+    assert spec.param("drop_p") == pytest.approx(0.25)
+    assert spec.param("missing", 7) == 7
+    assert spec.param("missing") is None
+
+
+# -- plan ordering and queries -----------------------------------------------
+
+
+def _mixed_plan(seed=3):
+    return FaultPlan(seed=seed, faults=(
+        fault(FaultKind.PARTITION, at=5.0, duration=1.0, scope="link.b"),
+        fault(FaultKind.CRASH_RESTART, at=1.0, duration=0.5, scope="server"),
+        fault(FaultKind.PARTITION, at=5.0, duration=1.0, scope="link.a"),
+    ))
+
+
+def test_faults_sorted_by_time_then_scope():
+    plan = _mixed_plan()
+    assert [(spec.at, spec.scope) for spec in plan] == [
+        (1.0, "server"), (5.0, "link.a"), (5.0, "link.b"),
+    ]
+    assert len(plan) == 3
+
+
+def test_of_kind_and_for_scope():
+    plan = _mixed_plan()
+    assert len(plan.of_kind(FaultKind.PARTITION)) == 2
+    assert plan.of_kind(FaultKind.LEASE_STORM) == ()
+    assert len(plan.for_scope("link.a")) == 1
+    assert plan.for_scope("nowhere") == ()
+
+
+def test_horizon_is_last_window_end():
+    assert FaultPlan(seed=0).horizon == 0.0
+    assert _mixed_plan().horizon == pytest.approx(6.0)
+
+
+def test_single_fault_plan_shape():
+    plan = single_fault_plan(
+        FaultKind.NOISY_BURST, at=0.5, duration=1.0,
+        scope="bus", seed=9, p_tx=0.1,
+    )
+    assert plan.seed == 9
+    assert len(plan) == 1
+    spec = plan.faults[0]
+    assert spec.kind is FaultKind.NOISY_BURST
+    assert spec.param("p_tx") == pytest.approx(0.1)
+
+
+# -- serialisation -----------------------------------------------------------
+
+
+def test_plan_round_trips_through_json():
+    plan = _mixed_plan()
+    blob = json.dumps(plan.to_dict())
+    back = FaultPlan.from_dict(json.loads(blob))
+    assert back == plan
+    assert back.fingerprint() == plan.fingerprint()
+
+
+def test_from_dict_requires_seed():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": []})
+
+
+def test_from_dict_rejects_unknown_kind():
+    with pytest.raises(FaultPlanError):
+        FaultSpec.from_dict({"kind": "meteor-strike", "at": 1.0})
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def test_fingerprint_stable_and_content_sensitive():
+    base = _mixed_plan(seed=3)
+    assert base.fingerprint() == _mixed_plan(seed=3).fingerprint()
+    assert base.fingerprint() != _mixed_plan(seed=4).fingerprint()
+    extra = FaultPlan(seed=3, faults=base.faults + (
+        fault(FaultKind.LEASE_STORM, at=9.0),
+    ))
+    assert base.fingerprint() != extra.fingerprint()
+
+
+def test_fingerprint_ignores_declaration_order():
+    a = FaultPlan(seed=1, faults=(
+        fault(FaultKind.PARTITION, at=2.0, duration=1.0, scope="x"),
+        fault(FaultKind.PARTITION, at=1.0, duration=1.0, scope="y"),
+    ))
+    b = FaultPlan(seed=1, faults=tuple(reversed(a.faults)))
+    assert a.fingerprint() == b.fingerprint()
+
+
+# -- named streams -----------------------------------------------------------
+
+
+def test_streams_are_deterministic_per_name():
+    plan = FaultPlan(seed=42)
+    first = [plan.stream("chaos.link").random() for _ in range(5)]
+    again = [plan.stream("chaos.link").random() for _ in range(5)]
+    assert first == again
+
+
+def test_streams_are_independent_of_each_other():
+    plan = FaultPlan(seed=42)
+    a = [plan.stream("chaos.link").random() for _ in range(5)]
+    b = [plan.stream("chaos.bus").random() for _ in range(5)]
+    assert a != b
+
+
+def test_streams_differ_across_seeds():
+    a = FaultPlan(seed=1).stream("chaos.link").random()
+    b = FaultPlan(seed=2).stream("chaos.link").random()
+    assert a != b

@@ -397,6 +397,51 @@ class UncappedEquivalenceMachine(EquivalenceMachine):
     MAX_LEASE = FOREVER
 
 
+class LeaseStormMachine(EquivalenceMachine):
+    """Equivalence under lease-expiry storms (chaos fault class 5).
+
+    Adds two rules to the base workload: a *storm write* that leases a
+    whole batch of tuples to die at one shared instant, and a clock jump
+    that lands **exactly on** that instant — the ``expires_at <= now``
+    boundary where the engine's expiry heap must agree with the oracle's
+    eager scan.  Interleaved with the inherited renew/cancel/take rules,
+    this drives the heap's lazy-invalidation paths (stale entries for
+    renewed or cancelled leases popped at the storm boundary) against
+    hundreds of simultaneous deadlines.
+    """
+
+    @initialize()
+    def setup_storm(self):
+        #: expiry instants of pending storms, for the exact-landing rule
+        self.storm_instants = []
+
+    @rule(count=st.sampled_from([5, 25, 80]),
+          lease=st.sampled_from([3.0, 12.0]), value=_values)
+    def storm_write(self, count, lease, value):
+        for _ in range(count):
+            item = LindaTuple("storm", value)
+            granted = self.space.write(item, lease=lease)
+            rec = self.oracle.write(item, lease=lease)
+            self.handles.append((granted, rec))
+        # Both sides computed now() + clamp(lease) identically, so one
+        # shared instant describes the whole doomed batch.
+        self.storm_instants.append(self.clock.now() + lease)
+
+    @precondition(lambda self: getattr(self, "storm_instants", None))
+    @rule()
+    def land_on_storm_instant(self):
+        instant = min(self.storm_instants)
+        self.storm_instants = [t for t in self.storm_instants if t > instant]
+        if instant > self.clock.now():
+            self.clock.set(instant)
+
+    @rule(template=st.just(TupleTemplate("storm", ANY)))
+    def take_storm(self, template):
+        got = self.space.take_if_exists(template)
+        expected = self.oracle.take_if_exists(template)
+        assert got == expected
+
+
 TestIndexEquivalence = EquivalenceMachine.TestCase
 TestIndexEquivalence.settings = settings(
     max_examples=40, stateful_step_count=50, deadline=None
@@ -406,3 +451,56 @@ TestIndexEquivalenceUncapped = UncappedEquivalenceMachine.TestCase
 TestIndexEquivalenceUncapped.settings = settings(
     max_examples=25, stateful_step_count=50, deadline=None
 )
+
+TestIndexEquivalenceLeaseStorm = LeaseStormMachine.TestCase
+TestIndexEquivalenceLeaseStorm.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None
+)
+
+
+def test_mass_simultaneous_expiry_drains_the_heap_lazily():
+    """Deterministic storm: 500 leases die at one instant while 100 were
+    cancelled and 50 renewed past it — the heap's stale entries for both
+    groups are invalidated lazily at the boundary, never double-counted."""
+    clock = ManualClock()
+    space = TupleSpace(clock=clock)
+    leases = [
+        space.write(LindaTuple("storm", index), lease=5.0)
+        for index in range(500)
+    ]
+    for lease in leases[:100]:
+        lease.cancel()
+    for lease in leases[100:150]:
+        lease.renew(20.0)          # stale (t=5) heap entries left behind
+
+    clock.set(5.0)                 # exactly the storm instant
+    swept = space.sweep_expired()
+    assert swept == 350            # 500 - 100 cancelled - 50 renewed
+    assert space.stats.expirations == 350
+    assert len(space) == 50
+    # Lazy invalidation has drained every stale deadline by now: only
+    # the renewed generation's live entries may remain.
+    assert len(space._expiry_heap) <= 50
+
+    clock.set(25.0)
+    assert space.sweep_expired() == 50
+    assert space.stats.expirations == 400
+    assert len(space) == 0
+    assert space._expiry_heap == []
+
+
+def test_storm_boundary_is_inclusive_for_engine_and_oracle():
+    """`expires_at <= now` on both sides: landing exactly on the shared
+    deadline expires the whole batch in the same operation."""
+    clock = ManualClock()
+    space = TupleSpace(clock=clock)
+    oracle = LinearScanSpace(clock)
+    for index in range(20):
+        space.write(LindaTuple("storm", index), lease=2.0)
+        oracle.write(LindaTuple("storm", index), lease=2.0)
+    clock.set(2.0)
+    template = TupleTemplate("storm", ANY)
+    assert space.take_if_exists(template) is None
+    assert oracle.take_if_exists(template) is None
+    assert space.stats.as_dict() == oracle.stats
+    assert space.stats.expirations == 20
