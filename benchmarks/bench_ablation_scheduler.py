@@ -1,16 +1,24 @@
-"""Ablation — pending-event-set implementation (heap vs calendar queue).
+"""Ablation — pending-event-set implementation (heap vs timing wheel).
 
 NS-2's default scheduler is a calendar queue; DESIGN.md calls out the
-choice as a knob.  This bench measures raw event throughput of both
-implementations on the workload shape the TpWIRE model produces (many
-short-horizon events at roughly uniform spacing).
+choice as a knob.  The repository's calendar queue is retired in favour
+of the hierarchical timing wheel (see ``repro.des.scheduler``), so this
+bench compares the heap against the wheel on the workload shape the
+TpWIRE model produces (many short-horizon events at roughly uniform
+spacing), and checks that the choice cannot change simulation results.
 """
 
 import pytest
 
-from repro.des import CalendarQueueScheduler, HeapScheduler, Simulator
+from repro.des import HeapScheduler, Simulator, TimingWheelScheduler
 
 N_EVENTS = 20_000
+
+
+def _wheel():
+    # Resolution matched to the 0..20 ms churn delays so inserts stay on
+    # the level-0 fast path (the property for_timing() gives bus models).
+    return TimingWheelScheduler(resolution=1e-2)
 
 
 def churn(scheduler_factory):
@@ -32,8 +40,8 @@ def churn(scheduler_factory):
 
 
 @pytest.mark.parametrize(
-    "factory", [HeapScheduler, CalendarQueueScheduler],
-    ids=["heap", "calendar-queue"],
+    "factory", [HeapScheduler, _wheel],
+    ids=["heap", "wheel"],
 )
 def test_scheduler_event_throughput(benchmark, factory):
     result = benchmark.pedantic(lambda: churn(factory), rounds=3, iterations=1)
@@ -47,7 +55,7 @@ def test_scheduler_choice_does_not_change_results(benchmark, report, bench_json)
     order implies identical simulation results."""
     def orders():
         out = []
-        for factory in (HeapScheduler, CalendarQueueScheduler):
+        for factory in (HeapScheduler, _wheel):
             sim = Simulator(scheduler=factory())
             rng = sim.stream("order")
             fired = []
@@ -57,21 +65,21 @@ def test_scheduler_choice_does_not_change_results(benchmark, report, bench_json)
             out.append(fired)
         return out
 
-    heap_order, calendar_order = benchmark.pedantic(orders, rounds=1,
-                                                    iterations=1)
+    heap_order, wheel_order = benchmark.pedantic(orders, rounds=1,
+                                                 iterations=1)
     report(
         "ablation_scheduler",
-        "Scheduler ablation: heap and calendar queue fire "
+        "Scheduler ablation: heap and timing wheel fire "
         f"{len(heap_order)} events in identical order: "
-        f"{heap_order == calendar_order}",
+        f"{heap_order == wheel_order}",
     )
     bench_json(
         "ablation_scheduler",
         rows=[
             {
                 "events": len(heap_order),
-                "identical_order": heap_order == calendar_order,
+                "identical_order": heap_order == wheel_order,
             }
         ],
     )
-    assert heap_order == calendar_order
+    assert heap_order == wheel_order

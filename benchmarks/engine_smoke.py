@@ -1,7 +1,8 @@
 """CI smoke gate: fail when engine throughput regresses.
 
 Re-measures the core-engine workloads (fast variants by default) and
-compares events/second per scheduler against the committed
+compares throughput per scheduler — both raw scheduler churn and the
+Figure 6 bus model — against the committed
 ``benchmarks/results/BENCH_core_engine.json`` baseline.  A measurement
 more than ``--tolerance`` (default 30 %) below the baseline fails the
 run — the knob exists because absolute throughput varies across runner
@@ -10,6 +11,7 @@ hardware, while a >30 % drop on the same workload is a code regression.
 Run from the repository root::
 
     PYTHONPATH=src python -m benchmarks.engine_smoke --fast
+    PYTHONPATH=src python -m benchmarks.engine_smoke --scheduler wheel
 """
 
 from __future__ import annotations
@@ -43,6 +45,12 @@ def main(argv=None) -> int:
         f"{FAST_PACKETS} packets) for quick CI runs",
     )
     parser.add_argument(
+        "--scheduler",
+        choices=[*sorted(SCHEDULER_FACTORIES), "all"],
+        default="all",
+        help="which pending-event queue(s) to measure (default: all)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.30,
@@ -60,28 +68,45 @@ def main(argv=None) -> int:
     baseline_eps = {
         row["scheduler"]: row["events_per_second"]
         for row in baseline["rows"]
+        if row["workload"] == "scheduler-churn"
+    }
+    baseline_fps = {
+        row["scheduler"]: row["frames_per_second"]
+        for row in baseline["rows"]
+        if row["workload"] == "figure-6-bus"
     }
     n_events = FAST_EVENTS if args.fast else FULL_EVENTS
     n_packets = FAST_PACKETS if args.fast else FULL_PACKETS
+    names = (
+        sorted(SCHEDULER_FACTORIES)
+        if args.scheduler == "all"
+        else [args.scheduler]
+    )
 
     failed = False
-    for name in sorted(SCHEDULER_FACTORIES):
-        measured = scheduler_events_per_second(
-            SCHEDULER_FACTORIES[name], n_events
-        )
-        reference = baseline_eps[name]
+
+    def gate(label: str, measured: float, reference: float) -> None:
+        nonlocal failed
         floor = reference * (1.0 - args.tolerance)
         verdict = "ok" if measured >= floor else "REGRESSED"
         failed = failed or measured < floor
         print(
-            f"{name:<16} {measured:>12,.0f} events/s "
+            f"{label:<22} {measured:>12,.0f}/s "
             f"(baseline {reference:,.0f}, floor {floor:,.0f}) {verdict}"
         )
-    # Frames/second is informational: it exercises the whole model stack,
-    # so only the raw event rate gates the run.
-    frames = bus_frames_per_second(n_packets)
-    reference = baseline["derived"]["bus_frames_per_second"]
-    print(f"{'figure-6 bus':<16} {frames:>12,.0f} frames/s (baseline {reference:,.0f})")
+
+    for name in names:
+        gate(
+            f"churn {name}",
+            scheduler_events_per_second(SCHEDULER_FACTORIES[name], n_events),
+            baseline_eps[name],
+        )
+    for name in names:
+        gate(
+            f"figure-6 bus {name}",
+            bus_frames_per_second(n_packets, scheduler=name),
+            baseline_fps[name],
+        )
     return 1 if failed else 0
 
 

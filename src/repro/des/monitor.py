@@ -95,6 +95,11 @@ class TimeWeightedMonitor:
         return self._value
 
     def set(self, value: float) -> None:
+        if value == self._value:
+            # Piecewise-constant signal: re-asserting the current value
+            # changes nothing — integral() accrues the running segment
+            # lazily from _last_change, so skipping the update is exact.
+            return
         now = self.sim.now
         self._integral += self._value * (now - self._last_change)
         self._value = value

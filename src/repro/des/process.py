@@ -24,6 +24,12 @@ from repro.des.errors import Interrupted, ProcessKilled, SimulationError
 class Waitable:
     """One-shot outcome that processes can wait on."""
 
+    # The bus allocates one bare Waitable per communication cycle; slots
+    # keep that allocation dict-free.  Subclasses that add attributes
+    # fall back to a lazily-created __dict__ as usual.
+    __slots__ = ("sim", "_callbacks", "_triggered", "_ok", "_value",
+                 "_exception", "__weakref__", "__dict__")
+
     def __init__(self, sim):
         self.sim = sim
         self._callbacks: list[Callable[["Waitable"], None]] = []
@@ -135,7 +141,7 @@ class Process(Waitable):
         self._waiting_on: Optional[Waitable] = None
         # First resumption happens as its own event at the current time so
         # that spawn() returns before any process code runs.
-        sim.after(0.0, self._step, None, None)
+        sim.call_after(0.0, self._step, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -204,7 +210,7 @@ class Process(Waitable):
         waited.remove_callback(self._on_wait_done)
         if isinstance(waited, Timeout):
             waited.cancel()
-        self.sim.after(0.0, self._step, None, Interrupted(cause))
+        self.sim.call_after(0.0, self._step, None, Interrupted(cause))
 
     def kill(self) -> None:
         """Terminate the process; it may catch ``ProcessKilled`` to clean up."""
@@ -215,7 +221,7 @@ class Process(Waitable):
             waited.remove_callback(self._on_wait_done)
             if isinstance(waited, Timeout):
                 waited.cancel()
-            self.sim.after(0.0, self._step, None, ProcessKilled())
+            self.sim.call_after(0.0, self._step, None, ProcessKilled())
         else:
             # Not yet started; close the generator and mark done.
             self._generator.close()

@@ -62,7 +62,7 @@ class HwKernel:
 
     def notify_after(self, delay: float, process) -> None:
         """Resume a process after a timed wait."""
-        self.sim.after(delay, self.make_runnable, process)
+        self.sim.call_after(delay, self.make_runnable, process)
 
     # -- delta machinery -----------------------------------------------------
 
@@ -70,7 +70,9 @@ class HwKernel:
         if self._delta_scheduled:
             return
         self._delta_scheduled = True
-        self.sim.at(self.sim.now, self._delta_step, priority=self.DELTA_PRIORITY)
+        self.sim.call_at(
+            self.sim.now, self._delta_step, priority=self.DELTA_PRIORITY
+        )
 
     def _delta_step(self) -> None:
         self._delta_scheduled = False

@@ -132,10 +132,10 @@ class SlavePhy(HwModule):
             for index in range(FRAME_BITS):
                 bit = self.down_in.read()
                 bits.append(bit)
-                sim.after(hop - 0.5 * bp, self.down_out.write, bit)
+                sim.call_after(hop - 0.5 * bp, self.down_out.write, bit)
                 if index < FRAME_BITS - 1:
                     yield wait_time(bp)
-            sim.after(hop + 0.5 * bp, self.down_out.write, IDLE)
+            sim.call_after(hop + 0.5 * bp, self.down_out.write, IDLE)
             self.frames_seen += 1
             try:
                 frame = TxFrame.from_bits(bits)
@@ -173,10 +173,10 @@ class SlavePhy(HwModule):
                     # Sec. 3.1: the INT bit is set as the RX frame passes
                     # through a slave with a pending interrupt.
                     bit = 1
-                sim.after(hop - 0.5 * bp, self.up_out.write, bit)
+                sim.call_after(hop - 0.5 * bp, self.up_out.write, bit)
                 if index < FRAME_BITS - 1:
                     yield wait_time(bp)
-            sim.after(hop + 0.5 * bp, self.up_out.write, IDLE)
+            sim.call_after(hop + 0.5 * bp, self.up_out.write, IDLE)
 
 
 class MasterPhy(HwModule):
@@ -351,6 +351,15 @@ class BitLevelTpwireBus:
         self.cycles += 1
         self.master_phy.submit(frame, expect_reply, done)
         return done
+
+    def execute_cb(self, frame: TxFrame, expect_reply: bool, on_result) -> None:
+        """Callback-style :meth:`execute` (packet-level bus protocol).
+
+        The bit-level bus is not throughput-critical, so it adapts the
+        waitable form instead of duplicating the submit path."""
+        self.execute(frame, expect_reply).add_callback(
+            lambda done: on_result(done.value)
+        )
 
     def slave_by_id(self, node_id: int) -> TpwireSlave:
         try:

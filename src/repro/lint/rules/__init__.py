@@ -14,6 +14,7 @@ from repro.lint.rules import (  # noqa: F401
     layer_purity,
     mutable_default,
     perf_pop0,
+    perf_sched_alloc,
     unseeded_random,
     wall_clock,
 )

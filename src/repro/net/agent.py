@@ -100,7 +100,7 @@ class LoopbackAgent(NetAgent):
         return packet
 
     def transmit(self, packet: Packet) -> None:
-        self.sim.after(0.0, self.recv, packet)
+        self.sim.call_after(0.0, self.recv, packet)
 
     def recv(self, packet: Packet) -> None:
         self.received.append(packet)

@@ -96,7 +96,7 @@ class Link:
             return accepted
         if action == "delay":
             self.fault_delays += 1
-            self.sim.after(float(verdict[1]), self._enqueue, packet)
+            self.sim.call_after(float(verdict[1]), self._enqueue, packet)
             return True
         raise ValueError(f"unknown link fault verdict {verdict!r}")
 
@@ -138,12 +138,12 @@ class Link:
                 self.sim.now, "-", self.src_node.name, self.dst_node.name,
                 packet.kind, packet.size, uid=packet.uid,
             )
-        self.sim.after(tx_time, self._tx_done, packet)
+        self.sim.call_after(tx_time, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
         self.throughput.tick(packet.size)
         packet.hops += 1
-        self.sim.after(self.delay, self.dst_node.deliver, packet)
+        self.sim.call_after(self.delay, self.dst_node.deliver, packet)
         self._start_next()
 
     # -- introspection -------------------------------------------------------

@@ -53,6 +53,14 @@ class CycleResult:
         return self.status in (CycleStatus.OK, CycleStatus.BROADCAST)
 
 
+#: Shared no-payload outcomes: one of these finishes every cycle that
+#: carries no RX frame, so the hot path reuses them instead of building
+#: a frozen dataclass per cycle.
+_RESULT_BROADCAST = CycleResult(CycleStatus.BROADCAST)
+_RESULT_TIMEOUT = CycleResult(CycleStatus.TIMEOUT)
+_RESULT_CRC_ERROR = CycleResult(CycleStatus.CRC_ERROR)
+
+
 class BitErrorModel:
     """Per-frame corruption probabilities, drawn from a named RNG stream."""
 
@@ -98,8 +106,12 @@ class TpwireBus:
         #: (depth/hops = index + 1).
         self.slaves: list[TpwireSlave] = []
         self._by_node_id: dict[int, TpwireSlave] = {}
+        #: ``(slave, arrival_delay)`` pairs in chain order — the per-depth
+        #: ``tx_arrival_delay`` lookups hoisted out of the per-frame loops
+        #: in :meth:`_propagate_tx` / :meth:`_find_responder`.
+        self._chain: list[tuple[TpwireSlave, float]] = []
         self._busy = False
-        self._pending: deque[tuple[TxFrame, bool, Waitable]] = deque()
+        self._pending: deque[tuple[TxFrame, bool, object]] = deque()
         # -- statistics
         self.tx_frames = 0
         self.rx_frames = 0
@@ -129,6 +141,9 @@ class TpwireBus:
             raise TpwireError(f"duplicate node id {slave.node_id}")
         self.slaves.append(slave)
         self._by_node_id[slave.node_id] = slave
+        self._chain.append(
+            (slave, self.timing.tx_arrival_delay(len(self.slaves)))
+        )
 
     def slave_by_id(self, node_id: int) -> TpwireSlave:
         try:
@@ -156,82 +171,92 @@ class TpwireBus:
         :attr:`CycleStatus.BROADCAST` regardless of any slave reply.
         """
         done = Waitable(self.sim)
+        self.execute_cb(frame, expect_reply, done.succeed)
+        return done
+
+    def execute_cb(
+        self, frame: TxFrame, expect_reply: bool, on_result
+    ) -> None:
+        """:meth:`execute` without the waitable: ``on_result(CycleResult)``
+        fires when the cycle completes.  The master's transaction engine
+        chains on this directly — one communication cycle per frame makes
+        the waitable allocation and its callback dispatch pure overhead
+        when the caller already is a callback."""
         if self._busy:
-            self._pending.append((frame, expect_reply, done))
+            self._pending.append((frame, expect_reply, on_result))
             if self.obs is not None:
                 self._queue_depth.set(len(self._pending))
         else:
-            self._start_cycle(frame, expect_reply, done)
-        return done
+            self._start_cycle(frame, expect_reply, on_result)
 
-    def _start_cycle(self, frame: TxFrame, expect_reply: bool, done: Waitable) -> None:
+    def _start_cycle(self, frame: TxFrame, expect_reply: bool, on_result) -> None:
+        sim = self.sim
+        error_model = self.error_model
+        obs = self.obs
         self._busy = True
         self.utilization.set(1.0)
         self.cycles += 1
         self.tx_frames += 1
         self.frame_rate.tick()
-        if self.sim.trace_enabled:
-            self.sim.trace.record(
-                self.sim.now, "s", "master", self.name, "tpwire-tx",
+        if sim.trace_enabled:
+            sim.trace.record(
+                sim.now, "s", "master", self.name, "tpwire-tx",
                 2, cmd=frame.cmd.name, data=frame.data,
             )
         corrupted = (
-            self.error_model.corrupt_tx() if self.error_model is not None else False
+            error_model.corrupt_tx() if error_model is not None else False
         )
-        if self.obs is not None:
+        if obs is not None:
             self._ctr_tx.inc()
-            self.obs.vcd.change(f"{self.name}.busy", 1, self.sim.now)
-            self.obs.tracer.event(
+            obs.vcd.change(f"{self.name}.busy", 1, sim.now)
+            obs.tracer.event(
                 "tpwire", "tx", cmd=frame.cmd.name, data=frame.data,
                 corrupted=corrupted,
             )
-        target = self._frame_target(frame)
         responder = None
         if not corrupted:
             self._propagate_tx(frame)
             responder = self._find_responder(frame)
         if (
-            target == BROADCAST_NODE_ID
+            not expect_reply
             or frame.cmd is Command.RESET
-            or not expect_reply
+            or self._frame_target(frame) == BROADCAST_NODE_ID
         ):
             # No reply expected: the cycle lasts the broadcast duration
             # (execution on the slaves has already been applied above).
-            duration = self.timing.broadcast_duration(self.chain_length)
-            self.sim.after(
-                duration, self._finish_cycle, done,
-                CycleResult(CycleStatus.BROADCAST),
+            duration = self.timing.broadcast_duration(len(self.slaves))
+            sim.call_after(
+                duration, self._finish_cycle, on_result, _RESULT_BROADCAST,
             )
             return
         if responder is None:
-            timeout = self.timing.response_timeout(self.chain_length)
+            timeout = self.timing.response_timeout(len(self.slaves))
             self.timeouts += 1
-            if self.obs is not None:
+            if obs is not None:
                 self._ctr_timeouts.inc()
-            self.sim.after(
-                timeout, self._finish_cycle, done,
-                CycleResult(CycleStatus.TIMEOUT),
+            sim.call_after(
+                timeout, self._finish_cycle, on_result, _RESULT_TIMEOUT,
             )
             return
         rx_frame, hops = responder
         duration = self.timing.exchange_duration(hops)
         rx_corrupted = (
-            self.error_model.corrupt_rx() if self.error_model is not None else False
+            error_model.corrupt_rx() if error_model is not None else False
         )
         if rx_corrupted:
             self.crc_errors += 1
-            if self.obs is not None:
+            if obs is not None:
                 self._ctr_crc.inc()
-            result = CycleResult(CycleStatus.CRC_ERROR)
+            result = _RESULT_CRC_ERROR
         else:
             self.rx_frames += 1
             self.frame_rate.tick()
-            if self.obs is not None:
+            if obs is not None:
                 self._ctr_rx.inc()
             result = CycleResult(CycleStatus.OK, rx_frame)
-        self.sim.after(duration, self._finish_cycle, done, result)
+        sim.call_after(duration, self._finish_cycle, on_result, result)
 
-    def _finish_cycle(self, done: Waitable, result: CycleResult) -> None:
+    def _finish_cycle(self, on_result, result: CycleResult) -> None:
         if self.sim.trace_enabled:
             self.sim.trace.record(
                 self.sim.now, "r", self.name, "master", "tpwire-rx",
@@ -239,17 +264,27 @@ class TpwireBus:
             )
         if self.obs is not None:
             self.obs.tracer.event("tpwire", "rx", status=result.status.value)
-        done.succeed(result)
-        if self._pending:
-            frame, expect_reply, next_done = self._pending.popleft()
-            if self.obs is not None:
-                self._queue_depth.set(len(self._pending))
-            self._start_cycle(frame, expect_reply, next_done)
-        else:
-            self._busy = False
-            self.utilization.set(0.0)
+        had_queued = bool(self._pending)
+        on_result(result)
+        if not had_queued:
+            # The line went idle at this timestamp: anything queued now
+            # was chained by on_result just above.  The busy waveform
+            # marks the idle point even when a chained frame follows at
+            # the same instant (the waitable path used to defer the
+            # chained submission, so it pulsed once per cycle); the
+            # utilization monitor skips that zero-width gap — it
+            # contributes nothing to the time-weighted integral — and is
+            # only touched when the bus genuinely goes idle.
             if self.obs is not None:
                 self.obs.vcd.change(f"{self.name}.busy", 0, self.sim.now)
+            if not self._pending:
+                self._busy = False
+                self.utilization.set(0.0)
+        if self._pending:
+            frame, expect_reply, next_on_result = self._pending.popleft()
+            if self.obs is not None:
+                self._queue_depth.set(len(self._pending))
+            self._start_cycle(frame, expect_reply, next_on_result)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -264,14 +299,17 @@ class TpwireBus:
     def _propagate_tx(self, frame: TxFrame) -> None:
         """Deliver the frame's watchdog observation to every slave.
 
-        Observation happens at each slave's arrival time; state-changing
-        execution is resolved in :meth:`_find_responder` at the arrival
-        time of the addressed slave.
+        Observations are applied eagerly, each stamped with its slave's
+        arrival time, rather than scheduled as one event per slave — the
+        same eager-with-timed-stamps treatment :meth:`_find_responder`
+        already gives execution.  The watchdog state they touch is only
+        ever read through bus cycles (which the busy flag serialises), so
+        resolving them at cycle start is observationally equivalent and
+        removes two scheduler events per cycle from the hot path.
         """
         now = self.sim.now
-        for index, slave in enumerate(self.slaves):
-            arrival = self.timing.tx_arrival_delay(index + 1)
-            self.sim.at(now + arrival, slave.observe_tx, frame, now + arrival)
+        for slave, arrival in self._chain:
+            slave.observe_tx(frame, now + arrival)
 
     def _find_responder(self, frame: TxFrame) -> Optional[tuple[RxFrame, int]]:
         """Execute the frame on the chain; return ``(rx, hops)`` if a slave
@@ -281,12 +319,16 @@ class TpwireBus:
         chain order) while the returned hops value carries the timing.
         SELECT frames update every slave's selection state; other commands
         execute on whichever slave considers itself selected.
+
+        :meth:`_propagate_tx` has just observed the frame on every slave
+        with these exact timestamps (both are skipped together when the
+        TX is corrupted), so the observed entry point applies: the
+        watchdog is already serviced and fed.
         """
         now = self.sim.now
         responder: Optional[tuple[RxFrame, int]] = None
-        for index, slave in enumerate(self.slaves):
-            arrival = now + self.timing.tx_arrival_delay(index + 1)
-            reply = slave.execute(frame, arrival)
+        for index, (slave, arrival) in enumerate(self._chain):
+            reply = slave.execute_observed(frame, now + arrival)
             if reply is not None and responder is None:
                 responder = (reply, index + 1)
         if responder is None:
@@ -294,8 +336,9 @@ class TpwireBus:
         rx_frame, hops = responder
         # INT piggyback: slaves between the responder and the master set
         # the INT bit while the RX frame passes through them.
-        for slave in self.slaves[: hops - 1]:
-            if slave.interrupt_pending:
+        chain = self._chain
+        for i in range(hops - 1):
+            if chain[i][0].interrupt_pending:
                 rx_frame = rx_frame.with_int()
                 break
         return rx_frame, hops

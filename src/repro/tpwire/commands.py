@@ -78,11 +78,16 @@ def node_address(node_id: int, space: AddressSpace = AddressSpace.MEMORY) -> int
     return (node_id << 1) | int(space)
 
 
+#: Bit -> member table so the per-frame address split skips the enum
+#: constructor (SELECT handling runs on every slave for every cycle).
+_SPACES = (AddressSpace.MEMORY, AddressSpace.SYSTEM)
+
+
 def split_address(address: int) -> tuple[int, AddressSpace]:
     """Inverse of :func:`node_address`: ``(node_id, space)``."""
     if not 0 <= address <= 0xFF:
         raise ValueError(f"address must be one byte, got {address}")
-    return address >> 1, AddressSpace(address & 1)
+    return address >> 1, _SPACES[address & 1]
 
 
 def is_broadcast(node_id: int) -> bool:

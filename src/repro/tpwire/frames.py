@@ -34,6 +34,12 @@ def _from_bits(bits: list[int]) -> int:
     return value
 
 
+#: Intern caches for the ``of()`` constructors.  Bounded by the frame
+#: value spaces (8 commands x 256 bytes; 4 types x 256 bytes x 2).
+_TX_CACHE: dict = {}
+_RX_CACHE: dict = {}
+
+
 @dataclass(frozen=True)
 class TxFrame:
     """Master-to-slave frame."""
@@ -46,6 +52,17 @@ class TxFrame:
             raise FrameError(f"CMD must fit 3 bits, got {self.cmd}")
         if not 0 <= self.data <= 0xFF:
             raise FrameError(f"DATA must fit 8 bits, got {self.data}")
+
+    @classmethod
+    def of(cls, cmd: Command, data: int) -> "TxFrame":
+        """Interned constructor: frames are frozen value objects, so hot
+        paths (one TX frame per communication cycle) share instances
+        instead of re-validating and re-allocating identical frames."""
+        key = (cmd, data)
+        frame = _TX_CACHE.get(key)
+        if frame is None:
+            frame = _TX_CACHE[key] = cls(cmd, data)
+        return frame
 
     @property
     def crc(self) -> int:
@@ -101,6 +118,17 @@ class RxFrame:
         if not 0 <= self.data <= 0xFF:
             raise FrameError(f"DATA must fit 8 bits, got {self.data}")
 
+    @classmethod
+    def of(cls, rtype: RxType, data: int, int_pending: bool = False) -> "RxFrame":
+        """Interned constructor (see :meth:`TxFrame.of`): one RX frame per
+        replied cycle makes this the hottest allocation on the slave side,
+        and the value space is tiny (type x byte x INT bit)."""
+        key = (rtype, data, int_pending)
+        frame = _RX_CACHE.get(key)
+        if frame is None:
+            frame = _RX_CACHE[key] = cls(rtype, data, int_pending)
+        return frame
+
     @property
     def crc(self) -> int:
         # CRC over TYPE+DATA only; INT is mutable in flight.
@@ -122,7 +150,7 @@ class RxFrame:
         """Copy of this frame with the INT bit set (daisy-chain piggyback)."""
         if self.int_pending:
             return self
-        return RxFrame(self.rtype, self.data, int_pending=True)
+        return RxFrame.of(self.rtype, self.data, True)
 
     @classmethod
     def decode(cls, word: int) -> "RxFrame":

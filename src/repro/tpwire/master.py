@@ -36,6 +36,85 @@ from repro.tpwire.frames import RxFrame, TxFrame
 from repro.tpwire.registers import Flag
 
 
+class _Transaction(Waitable):
+    """One command/response transaction driven by cycle-completion callbacks.
+
+    Replaces the per-transaction generator process :meth:`TpwireMaster.transact`
+    used to spawn: chaining on the bus cycle's waitable directly skips a
+    :class:`~repro.des.process.Process` allocation and its zero-delay
+    start event for every frame pair on the polling hot path, while
+    keeping the exact retry/error semantics of the old process body.
+    """
+
+    def __init__(self, master: "TpwireMaster", frame: TxFrame, expect_reply: bool):
+        super().__init__(master.sim)
+        self._master = master
+        self._frame = frame
+        self._expect_reply = expect_reply
+        self._started = master.sim.now
+        self._attempt = 0
+        master.bus.execute_cb(frame, expect_reply, self._on_result)
+
+    def _on_result(self, result: CycleResult) -> None:
+        master = self._master
+        status = result.status
+        if status is CycleStatus.BROADCAST:
+            master._observe_txn(self._started)
+            self.succeed(None)
+            return
+        if status is CycleStatus.OK:
+            rx = result.rx
+            if rx.rtype is RxType.ERROR:
+                # The slave rejected the command: retrying the same
+                # frame cannot help.
+                master.errors_signaled += 1
+                master._observe_error("slave-error")
+                self._fail_or_raise(SlaveError(
+                    f"{master.name}: slave rejected {self._frame} "
+                    f"(status {rx.data:#04x})"
+                ))
+                return
+            master._observe_txn(self._started)
+            self.succeed(rx)
+            return
+        # TIMEOUT or CRC_ERROR: resend until the retry budget runs out.
+        self._attempt += 1
+        if self._attempt <= master.max_retries:
+            master.retries += 1
+            if master.obs is not None:
+                master._ctr_retries.inc()
+                master.obs.tracer.event(
+                    "master", "retry",
+                    attempt=self._attempt, status=status.value,
+                    cmd=self._frame.cmd.name,
+                )
+            master.bus.execute_cb(
+                self._frame, self._expect_reply, self._on_result
+            )
+            return
+        master.errors_signaled += 1
+        master._selected = None  # selection state is now unknown
+        master._observe_error(status.value)
+        error_class = (
+            BusTimeout if status is CycleStatus.TIMEOUT else BusError
+        )
+        self._fail_or_raise(error_class(
+            f"{master.name}: no valid reply to {self._frame} after "
+            f"{master.max_retries + 1} attempts (last: {status.value})"
+        ))
+
+    def _fail_or_raise(self, exc: BaseException) -> None:
+        """Fail waiters; re-raise when nobody waits (errors never pass
+        silently — the same contract as ``Process._fail_or_raise``)."""
+        if self._callbacks:
+            self.fail(exc)
+        else:
+            self._triggered = True
+            self._ok = False
+            self._exception = exc
+            raise exc
+
+
 class TpwireMaster:
     """The bus master; owns one :class:`TpwireBus`."""
 
@@ -72,10 +151,8 @@ class TpwireMaster:
     def transact(self, frame: TxFrame, expect_reply: bool = True) -> Waitable:
         """Send ``frame``; retry on timeout/CRC error; waitable succeeds
         with the RX frame (or ``None`` for no-reply cycles)."""
-        return self.sim.spawn(
-            self._transact_proc(frame, expect_reply),
-            name=f"{self.name}.transact",
-        )
+        self.transactions += 1
+        return _Transaction(self, frame, expect_reply)
 
     def transact_raw(self, frame: TxFrame, expect_reply: bool = True) -> Waitable:
         """One cycle, no retries: succeeds with the raw :class:`CycleResult`.
@@ -88,49 +165,6 @@ class TpwireMaster:
         """
         self.transactions += 1
         return self.bus.execute(frame, expect_reply)
-
-    def _transact_proc(self, frame: TxFrame, expect_reply: bool) -> Generator:
-        self.transactions += 1
-        started = self.sim.now
-        attempts = self.max_retries + 1
-        last_status = None
-        for attempt in range(attempts):
-            result: CycleResult = yield self.bus.execute(frame, expect_reply)
-            if result.status is CycleStatus.BROADCAST:
-                self._observe_txn(started)
-                return None
-            if result.status is CycleStatus.OK:
-                if result.rx.rtype is RxType.ERROR:
-                    # The slave rejected the command: retrying the same
-                    # frame cannot help.
-                    self.errors_signaled += 1
-                    self._observe_error("slave-error")
-                    raise SlaveError(
-                        f"{self.name}: slave rejected {frame} "
-                        f"(status {result.rx.data:#04x})"
-                    )
-                self._observe_txn(started)
-                return result.rx
-            last_status = result.status
-            if attempt < attempts - 1:
-                self.retries += 1
-                if self.obs is not None:
-                    self._ctr_retries.inc()
-                    self.obs.tracer.event(
-                        "master", "retry",
-                        attempt=attempt + 1, status=last_status.value,
-                        cmd=frame.cmd.name,
-                    )
-        self.errors_signaled += 1
-        self._selected = None  # selection state is now unknown
-        self._observe_error(last_status.value)
-        error_class = (
-            BusTimeout if last_status is CycleStatus.TIMEOUT else BusError
-        )
-        raise error_class(
-            f"{self.name}: no valid reply to {frame} after {attempts} "
-            f"attempts (last: {last_status.value})"
-        )
 
     def _observe_txn(self, started: float) -> None:
         if self.obs is not None:
@@ -149,14 +183,14 @@ class TpwireMaster:
         """SELECT a node/register set (skipped when already selected)."""
         if self._selected == (node_id, space):
             return None
-        frame = TxFrame(Command.SELECT, node_address(node_id, space))
+        frame = TxFrame.of(Command.SELECT, node_address(node_id, space))
         expect_reply = node_id != BROADCAST_NODE_ID
         reply = yield self.transact(frame, expect_reply=expect_reply)
         self._selected = (node_id, space)
         return reply
 
     def op_set_pointer(self, address: int) -> Generator:
-        yield self.transact(TxFrame(Command.WRITE_ADDR, address & 0xFF))
+        yield self.transact(TxFrame.of(Command.WRITE_ADDR, address & 0xFF))
         return None
 
     def op_write_bytes(
@@ -170,7 +204,7 @@ class TpwireMaster:
         yield from self.op_select(node_id, space)
         yield from self.op_set_pointer(address)
         for value in data:
-            yield self.transact(TxFrame(Command.WRITE_DATA, value))
+            yield self.transact(TxFrame.of(Command.WRITE_DATA, value))
         return len(data)
 
     def op_read_bytes(
@@ -184,8 +218,9 @@ class TpwireMaster:
         yield from self.op_select(node_id, space)
         yield from self.op_set_pointer(address)
         out = bytearray()
+        read_frame = TxFrame.of(Command.READ_DATA, 0)
         for _ in range(count):
-            rx: RxFrame = yield self.transact(TxFrame(Command.READ_DATA, 0))
+            rx: RxFrame = yield self.transact(read_frame)
             out.append(rx.data)
         return bytes(out)
 
@@ -217,41 +252,41 @@ class TpwireMaster:
         # stream into the memory-space destination.
         yield from self.op_select(node_id, AddressSpace.SYSTEM)
         yield from self.op_set_pointer(int(SystemRegister.DMA_COUNTER))
-        yield self.transact(TxFrame(Command.WRITE_DATA, len(data)))
+        yield self.transact(TxFrame.of(Command.WRITE_DATA, len(data)))
         yield from self.op_select(node_id, AddressSpace.MEMORY)
         yield from self.op_set_pointer(address)
         yield self.transact(
-            TxFrame(Command.SYS_CMD, int(SysCommand.DMA_WRITE))
+            TxFrame.of(Command.SYS_CMD, int(SysCommand.DMA_WRITE))
         )
         for value in data[:-1]:
             yield self.transact(
-                TxFrame(Command.WRITE_DATA, value), expect_reply=False
+                TxFrame.of(Command.WRITE_DATA, value), expect_reply=False
             )
         # The final byte is acknowledged: it validates the whole burst.
-        yield self.transact(TxFrame(Command.WRITE_DATA, data[-1]))
+        yield self.transact(TxFrame.of(Command.WRITE_DATA, data[-1]))
         return len(data)
 
     def op_read_flags(self, node_id: int) -> Generator:
         """SELECT + READ_FLAGS; returns the :class:`Flag` byte."""
         yield from self.op_select(node_id, AddressSpace.MEMORY)
-        rx: RxFrame = yield self.transact(TxFrame(Command.READ_FLAGS, 0))
+        rx: RxFrame = yield self.transact(TxFrame.of(Command.READ_FLAGS, 0))
         return Flag(rx.data)
 
     def op_poll(self, node_id: int) -> Generator:
         """SELECT + POLL; returns the raw status RX frame."""
         yield from self.op_select(node_id, AddressSpace.MEMORY)
-        rx: RxFrame = yield self.transact(TxFrame(Command.POLL, 0))
+        rx: RxFrame = yield self.transact(TxFrame.of(Command.POLL, 0))
         return rx
 
     def op_sys_command(self, node_id: int, command: int) -> Generator:
         yield from self.op_select(node_id, AddressSpace.MEMORY)
-        yield self.transact(TxFrame(Command.SYS_CMD, command & 0xFF))
+        yield self.transact(TxFrame.of(Command.SYS_CMD, command & 0xFF))
         return None
 
     def op_broadcast_reset(self) -> Generator:
         """Broadcast-select then RESET: every slave resets, nobody replies."""
         yield from self.op_select(BROADCAST_NODE_ID, AddressSpace.MEMORY)
-        yield self.transact(TxFrame(Command.RESET, 0), expect_reply=False)
+        yield self.transact(TxFrame.of(Command.RESET, 0), expect_reply=False)
         self._selected = None
         return None
 

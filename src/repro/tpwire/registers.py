@@ -41,6 +41,11 @@ class Flag(enum.IntFlag):
     USER2 = 0x80
 
 
+#: Plain-int index of FLAGS in the system list (hot: several flag
+#: reads/writes per relayed frame go through it).
+_FLAGS_INDEX = int(SystemRegister.FLAGS)
+
+
 class MmioRegion:
     """A handler-backed address window inside the memory space."""
 
@@ -78,8 +83,14 @@ class SlaveRegisterFile:
         self.memory_size = memory_size
         self.memory = bytearray(memory_size)
         self.pointer = 0
-        self.system = {reg: 0 for reg in SystemRegister}
+        #: System register values, indexed by :class:`SystemRegister` (an
+        #: IntEnum, so plain list indexing).  A list beats a dict here:
+        #: the FLAGS byte is touched several times per relayed frame.
+        self.system: list[int] = [0] * len(SystemRegister)
         self._mmio: list[MmioRegion] = []
+        #: Address -> region map so every memory access resolves its MMIO
+        #: region with one dict hit instead of a scan over all regions.
+        self._mmio_map: dict[int, MmioRegion] = {}
 
     # -- MMIO registration -------------------------------------------------
 
@@ -94,12 +105,11 @@ class SlaveRegisterFile:
                     f"MMIO region {region.name!r} overlaps {existing.name!r}"
                 )
         self._mmio.append(region)
+        for address in range(region.start, region.start + region.length):
+            self._mmio_map[address] = region
 
     def _find_mmio(self, address: int) -> Optional[MmioRegion]:
-        for region in self._mmio:
-            if region.contains(address):
-                return region
-        return None
+        return self._mmio_map.get(address)
 
     # -- pointer -------------------------------------------------------------
 
@@ -112,7 +122,7 @@ class SlaveRegisterFile:
     # -- memory-space access ---------------------------------------------------
 
     def read_memory(self, address: int) -> int:
-        region = self._find_mmio(address)
+        region = self._mmio_map.get(address)
         if region is not None:
             if region.read is None:
                 raise TpwireError(f"MMIO {region.name!r} is write-only")
@@ -126,7 +136,7 @@ class SlaveRegisterFile:
     def write_memory(self, address: int, value: int) -> None:
         if not 0 <= value <= 0xFF:
             raise TpwireError(f"byte value out of range: {value}")
-        region = self._find_mmio(address)
+        region = self._mmio_map.get(address)
         if region is not None:
             if region.write is None:
                 raise TpwireError(f"MMIO {region.name!r} is read-only")
@@ -139,50 +149,83 @@ class SlaveRegisterFile:
         self.memory[address] = value
 
     def _pointer_is_sticky(self) -> bool:
-        region = self._find_mmio(self.pointer)
+        region = self._mmio_map.get(self.pointer)
         return region is not None and region.sticky
 
     def read_at_pointer(self) -> int:
-        value = self.read_memory(self.pointer)
-        if not self._pointer_is_sticky():
-            self._advance_pointer()
-        return value
+        pointer = self.pointer
+        region = self._mmio_map.get(pointer)
+        if region is not None:
+            if region.read is None:
+                raise TpwireError(f"MMIO {region.name!r} is write-only")
+            value = region.read(pointer - region.start) & 0xFF
+            if not region.sticky:
+                self.pointer = (pointer + 1) % 256
+            return value
+        if pointer >= self.memory_size:
+            raise TpwireError(
+                f"memory read at {pointer:#x} beyond size {self.memory_size}"
+            )
+        self.pointer = (pointer + 1) % 256
+        return self.memory[pointer]
 
     def write_at_pointer(self, value: int) -> None:
-        self.write_memory(self.pointer, value)
-        if not self._pointer_is_sticky():
-            self._advance_pointer()
+        if not 0 <= value <= 0xFF:
+            raise TpwireError(f"byte value out of range: {value}")
+        pointer = self.pointer
+        region = self._mmio_map.get(pointer)
+        if region is not None:
+            if region.write is None:
+                raise TpwireError(f"MMIO {region.name!r} is read-only")
+            region.write(pointer - region.start, value)
+            if not region.sticky:
+                self.pointer = (pointer + 1) % 256
+            return
+        if pointer >= self.memory_size:
+            raise TpwireError(
+                f"memory write at {pointer:#x} beyond size {self.memory_size}"
+            )
+        self.memory[pointer] = value
+        self.pointer = (pointer + 1) % 256
 
     # -- system-space access ------------------------------------------------
 
     def read_system(self, address: int) -> int:
-        try:
-            register = SystemRegister(address & 0x3)
-        except ValueError:
-            raise TpwireError(f"no system register at {address:#x}")
-        return self.system[register] & 0xFF
+        # All four addresses behind the 2-bit decode are valid registers,
+        # so the masked index needs no enum round trip.
+        return self.system[address & 0x3] & 0xFF
 
     def write_system(self, address: int, value: int) -> None:
-        try:
-            register = SystemRegister(address & 0x3)
-        except ValueError:
-            raise TpwireError(f"no system register at {address:#x}")
-        self.system[register] = value & 0xFF
+        self.system[address & 0x3] = value & 0xFF
 
     # -- flags ------------------------------------------------------------------
 
     @property
     def flags(self) -> Flag:
-        return Flag(self.system[SystemRegister.FLAGS])
+        return Flag(self.system[_FLAGS_INDEX])
 
     def set_flag(self, flag: Flag, on: bool = True) -> None:
         if on:
-            self.system[SystemRegister.FLAGS] |= int(flag)
+            self.system[_FLAGS_INDEX] |= int(flag)
         else:
-            self.system[SystemRegister.FLAGS] &= ~int(flag) & 0xFF
+            self.system[_FLAGS_INDEX] &= ~int(flag) & 0xFF
 
     def test_flag(self, flag: Flag) -> bool:
-        return bool(self.system[SystemRegister.FLAGS] & int(flag))
+        # int(flag) keeps this in plain-int bitwise land: letting the
+        # IntFlag operand drive ``&`` would invoke Flag.__rand__ and
+        # allocate a Flag instance per test.
+        return bool(self.system[_FLAGS_INDEX] & int(flag))
+
+    def set_flags_masked(self, mask: int, value: int) -> None:
+        """Replace the ``mask`` bits of FLAGS with ``value`` in one store.
+
+        Device flag refreshes (the mailbox touches OUT_READY, INT_PENDING
+        and IN_FULL after every byte) collapse to a single
+        read-modify-write instead of one :meth:`set_flag` per bit.
+        """
+        self.system[_FLAGS_INDEX] = (
+            self.system[_FLAGS_INDEX] & ~mask & 0xFF
+        ) | value
 
     # -- reset ---------------------------------------------------------------
 
@@ -191,4 +234,4 @@ class SlaveRegisterFile:
         self.pointer = 0
         self.system[SystemRegister.COMMAND] = 0
         self.system[SystemRegister.DMA_COUNTER] = 0
-        self.system[SystemRegister.FLAGS] = int(Flag.RESET_OCCURRED)
+        self.system[_FLAGS_INDEX] = int(Flag.RESET_OCCURRED)

@@ -26,8 +26,10 @@ from repro.tpwire.commands import (
 from repro.tpwire.errors import TpwireError
 from repro.tpwire.frames import RxFrame, TxFrame
 from repro.tpwire.commands import RxType
-from repro.tpwire.registers import Flag, SlaveRegisterFile
+from repro.tpwire.registers import Flag, SlaveRegisterFile, SystemRegister
 from repro.tpwire.timing import BusTiming
+
+_FLAGS_ADDRESS = int(SystemRegister.FLAGS)
 
 
 class TpwireSlave:
@@ -71,6 +73,10 @@ class TpwireSlave:
         #: bytes left in an armed DMA write burst (0 = no burst active)
         self.dma_write_remaining = 0
         self._devices: list = []
+        self._ack_frames = (
+            RxFrame.of(RxType.ACK, status_byte(node_id, False), False),
+            RxFrame.of(RxType.ACK, status_byte(node_id, True), True),
+        )
 
     # -- device attachment ---------------------------------------------------
 
@@ -151,7 +157,10 @@ class TpwireSlave:
         """A valid TX frame passed through this slave: feed the watchdog."""
         if not self.powered:
             return
-        self._service_watchdog(now)
+        # _service_watchdog inlined: this runs once per slave per TX frame.
+        deadline = self._last_valid_tx + self.timing.reset_timeout
+        if now > deadline:
+            self._perform_reset(deadline, reason="watchdog")
         if now >= self._reset_until:
             self._last_valid_tx = now
 
@@ -163,10 +172,41 @@ class TpwireSlave:
         """
         if not self.powered:
             return None
-        if self.is_in_reset(now):
+        # is_in_reset() + observe_tx() inlined (one call per frame per
+        # slave): service the watchdog, bail while the reset pulse is
+        # active, then service again — after a gap longer than two
+        # watchdog periods the first reset's release re-arms a second,
+        # later deadline — and feed the watchdog.
+        reset_timeout = self.timing.reset_timeout
+        deadline = self._last_valid_tx + reset_timeout
+        if now > deadline:
+            self._perform_reset(deadline, reason="watchdog")
+        if now < self._reset_until:
             return None
-        self.observe_tx(frame, now)
+        deadline = self._last_valid_tx + reset_timeout
+        if now > deadline:
+            self._perform_reset(deadline, reason="watchdog")
+        if now >= self._reset_until:
+            self._last_valid_tx = now
+        return self._dispatch_frame(frame)
 
+    def execute_observed(self, frame: TxFrame, now: float) -> Optional[RxFrame]:
+        """:meth:`execute` for a frame this slave has already observed.
+
+        The bus applies :meth:`observe_tx` to every slave in the chain
+        before resolving execution, which leaves the watchdog serviced
+        and fed for ``now``; re-doing that per slave per frame is the
+        single hottest redundancy on the cycle path.  Callers that have
+        not just observed the same ``(frame, now)`` must use
+        :meth:`execute`.
+        """
+        if not self.powered:
+            return None
+        if now < self._reset_until:
+            return None
+        return self._dispatch_frame(frame)
+
+    def _dispatch_frame(self, frame: TxFrame) -> Optional[RxFrame]:
         if frame.cmd is Command.SELECT:
             return self._execute_select(frame)
         if self.selected_space is None:
@@ -198,6 +238,7 @@ class TpwireSlave:
         space = self.selected_space
         regs = self.registers
         cmd = frame.cmd
+        rx_of = RxFrame.of
         try:
             if cmd is Command.WRITE_ADDR:
                 regs.set_pointer(frame.data)
@@ -220,11 +261,11 @@ class TpwireSlave:
                 else:
                     value = regs.read_system(regs.pointer)
                     regs.set_pointer((regs.pointer + 1) % 256)
-                return RxFrame(RxType.DATA, value, self.interrupt_pending)
+                return rx_of(RxType.DATA, value, self.interrupt_pending)
             if cmd is Command.READ_FLAGS:
-                value = int(regs.flags)
+                value = regs.read_system(_FLAGS_ADDRESS)
                 regs.set_flag(Flag.RESET_OCCURRED, False)
-                return RxFrame(RxType.FLAGS, value, self.interrupt_pending)
+                return rx_of(RxType.FLAGS, value, self.interrupt_pending)
             if cmd is Command.SYS_CMD:
                 regs.write_system(0, frame.data)  # COMMAND register
                 if frame.data == int(SysCommand.DMA_WRITE):
@@ -258,11 +299,9 @@ class TpwireSlave:
         )
 
     def _ack(self) -> RxFrame:
-        return RxFrame(
-            RxType.ACK,
-            status_byte(self.node_id, self.interrupt_pending),
-            self.interrupt_pending,
-        )
+        # Only two ACK frames exist per node (INT bit clear/set); both are
+        # interned once in __init__ so the reply path allocates nothing.
+        return self._ack_frames[self.registers.test_flag(Flag.INT_PENDING)]
 
     def __repr__(self) -> str:
         sel = (

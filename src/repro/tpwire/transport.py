@@ -31,16 +31,31 @@ from repro.tpwire.registers import Flag, MmioRegion
 
 # -- CRC-16/CCITT over message header+payload ------------------------------
 
-def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
-    """CRC-16/CCITT-FALSE (poly 0x1021), as used by the link messages."""
-    crc = initial
-    for byte in data:
-        crc ^= byte << 8
+def _crc16_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
         for _ in range(8):
             if crc & 0x8000:
                 crc = ((crc << 1) ^ 0x1021) & 0xFFFF
             else:
                 crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return table
+
+
+#: Byte-indexed lookup table so the per-message CRC is one table hit per
+#: byte instead of eight shift/xor steps (every relayed link message is
+#: encoded once and decoded twice on its way through the master).
+_CRC16_TABLE = _crc16_table()
+
+
+def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE (poly 0x1021), as used by the link messages."""
+    crc = initial
+    table = _CRC16_TABLE
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ table[(crc >> 8) ^ byte]
     return crc
 
 
@@ -245,15 +260,18 @@ class MailboxDevice:
             if self.on_message is not None:
                 self.on_message(message)
 
+    #: FLAGS bits the mailbox owns, refreshed together after every byte.
+    _FLAG_MASK = int(Flag.OUT_READY | Flag.INT_PENDING | Flag.IN_FULL)
+    _FLAG_OUT = int(Flag.OUT_READY | Flag.INT_PENDING)
+    _FLAG_IN_FULL = int(Flag.IN_FULL)
+
     def _update_flags(self) -> None:
         if self._slave is None:
             return
-        has_out = bool(self._outbound)
-        self._slave.registers.set_flag(Flag.OUT_READY, has_out)
-        self._slave.registers.set_flag(Flag.INT_PENDING, has_out)
-        self._slave.registers.set_flag(
-            Flag.IN_FULL, len(self._inbound) >= self.in_capacity
-        )
+        value = self._FLAG_OUT if self._outbound else 0
+        if len(self._inbound) >= self.in_capacity:
+            value |= self._FLAG_IN_FULL
+        self._slave.registers.set_flags_masked(self._FLAG_MASK, value)
 
 
 class TransportFabric:
@@ -545,7 +563,7 @@ class MasterPoller:
         yield from self.master.op_select(slave_id)
         yield from self.master.op_set_pointer(MailboxDevice.OUT_DATA)
         out = bytearray()
-        frame = TxFrame(Command.READ_DATA, 0)
+        frame = TxFrame.of(Command.READ_DATA, 0)
         while len(out) < count:
             for _attempt in range(self.FIFO_ATTEMPTS):
                 result = yield self.master.transact_raw(frame)
@@ -582,7 +600,7 @@ class MasterPoller:
         yield from self.master.op_select(dest)
         yield from self.master.op_set_pointer(MailboxDevice.IN_DATA)
         for value in data:
-            frame = TxFrame(Command.WRITE_DATA, value)
+            frame = TxFrame.of(Command.WRITE_DATA, value)
             for _attempt in range(self.FIFO_ATTEMPTS):
                 result = yield self.master.transact_raw(frame)
                 if result.status is CycleStatus.OK:

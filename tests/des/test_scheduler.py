@@ -1,4 +1,4 @@
-"""Both scheduler queues: ordering, cancellation, and heap/calendar parity."""
+"""All scheduler queues: ordering, cancellation, and cross-queue parity."""
 
 import random
 
@@ -9,17 +9,27 @@ from hypothesis import strategies as st
 from repro.des.errors import SchedulerError
 from repro.des.event import Event
 from repro.des.random_streams import StreamRegistry
-from repro.des.scheduler import CalendarQueueScheduler, HeapScheduler
+from repro.des.scheduler import (
+    CalendarQueueScheduler,
+    HeapScheduler,
+    TimingWheelScheduler,
+)
 
 
 def make_event(time, seq, priority=0):
     return Event(time, seq, lambda: None, (), priority)
 
 
-SCHEDULERS = [HeapScheduler, lambda: CalendarQueueScheduler(nbuckets=4, width=0.5)]
+SCHEDULERS = [
+    HeapScheduler,
+    lambda: CalendarQueueScheduler(nbuckets=4, width=0.5),
+    # Coarse resolution + tiny slots so multi-level cascades happen even
+    # on the small basic-test workloads.
+    lambda: TimingWheelScheduler(resolution=0.5, slot_bits=2),
+]
 
 
-@pytest.mark.parametrize("factory", SCHEDULERS, ids=["heap", "calendar"])
+@pytest.mark.parametrize("factory", SCHEDULERS, ids=["heap", "calendar", "wheel"])
 class TestBasics:
     def test_pop_returns_earliest(self, factory):
         queue = factory()
@@ -123,21 +133,34 @@ class TestCalendarQueueSpecifics:
             last_popped = event.time
 
 
-def _mirrored_pair(time, seq, priority):
+def _parity_queues():
+    """One instance of every queue implementation, driven in lockstep.
+
+    The calendar width and wheel resolution are deliberately small so the
+    0..40 s workloads below span many buckets/slots and (for the wheel)
+    several levels, not just the level-0 fast path.
+    """
+    return [
+        HeapScheduler(),
+        CalendarQueueScheduler(nbuckets=4, width=0.25),
+        TimingWheelScheduler(resolution=0.05, slot_bits=4),
+    ]
+
+
+def _mirrored(time, seq, priority, count):
     """The same logical event, one instance per queue under test."""
-    return make_event(time, seq, priority), make_event(time, seq, priority)
+    return [make_event(time, seq, priority) for _ in range(count)]
 
 
 def test_parity_on_randomized_push_cancel_pop_workloads():
-    """Heap and calendar queues pop identical sequences under a mixed
+    """Every queue pops identical sequences under a mixed
     push/cancel/pop workload (seeded via the deterministic stream
     registry, like every other stochastic component)."""
     registry = StreamRegistry(master_seed=0x5EED)
     for case in range(6):
         rng = registry.stream(f"scheduler-parity-{case}")
-        heap = HeapScheduler()
-        calendar = CalendarQueueScheduler(nbuckets=4, width=0.25)
-        live: list[tuple[Event, Event]] = []
+        queues = _parity_queues()
+        live: list[list[Event]] = []
         seq = 0
         pops = 0
         for _ in range(800):
@@ -146,71 +169,74 @@ def test_parity_on_randomized_push_cancel_pop_workloads():
                 seq += 1
                 t = rng.uniform(0.0, 40.0)
                 priority = rng.choice((-1, 0, 1))
-                heap_event, cal_event = _mirrored_pair(t, seq, priority)
-                heap.push(heap_event)
-                calendar.push(cal_event)
-                live.append((heap_event, cal_event))
+                events = _mirrored(t, seq, priority, len(queues))
+                for queue, event in zip(queues, events):
+                    queue.push(event)
+                live.append(events)
             elif action < 0.70:
-                heap_event, cal_event = live.pop(rng.randrange(len(live)))
-                assert heap_event.cancel() and cal_event.cancel()
-                heap.notify_cancelled()
-                calendar.notify_cancelled()
+                events = live.pop(rng.randrange(len(live)))
+                for queue, event in zip(queues, events):
+                    assert event.cancel()
+                    queue.notify_cancelled()
             else:
-                from_heap = heap.pop()
-                from_calendar = calendar.pop()
-                assert from_heap.sort_key == from_calendar.sort_key
+                popped = [queue.pop() for queue in queues]
+                assert all(
+                    e.sort_key == popped[0].sort_key for e in popped[1:]
+                )
                 pops += 1
                 index = next(
-                    i for i, (he, _) in enumerate(live) if he is from_heap
+                    i for i, ev in enumerate(live) if ev[0] is popped[0]
                 )
                 del live[index]
-        assert pops > 0 and len(heap) == len(calendar) == len(live)
+        assert pops > 0
+        assert all(len(queue) == len(live) for queue in queues)
         drained = []
-        while len(heap):
-            from_heap, from_calendar = heap.pop(), calendar.pop()
-            assert from_heap.sort_key == from_calendar.sort_key
-            drained.append(from_heap.sort_key)
+        while len(queues[0]):
+            popped = [queue.pop() for queue in queues]
+            assert all(e.sort_key == popped[0].sort_key for e in popped[1:])
+            drained.append(popped[0].sort_key)
         assert drained == sorted(drained)
 
 
 def test_parity_out_of_order_inserts_after_resize():
     """Pushing events earlier than the last popped time — legal after a
-    calendar resize snapshot — rewinds the bucket scan and still pops in
-    heap order."""
+    calendar resize snapshot, and the wheel's full-rebuild cold path —
+    rewinds the scan and still pops in heap order."""
     registry = StreamRegistry(master_seed=7)
     rng = registry.stream("scheduler-rewind")
-    heap = HeapScheduler()
-    calendar = CalendarQueueScheduler(nbuckets=4, width=0.5)
+    queues = _parity_queues()
     # Grow well past 2 * nbuckets to force several doubling resizes.
     for seq in range(120):
         t = rng.uniform(0.0, 60.0)
-        heap_event, cal_event = _mirrored_pair(t, seq, 0)
-        heap.push(heap_event)
-        calendar.push(cal_event)
+        for queue, event in zip(queues, _mirrored(t, seq, 0, len(queues))):
+            queue.push(event)
     for _ in range(60):
-        assert heap.pop().sort_key == calendar.pop().sort_key
+        popped = [queue.pop() for queue in queues]
+        assert all(e.sort_key == popped[0].sort_key for e in popped[1:])
     # Out-of-order inserts: strictly before every remaining event.
     for seq in range(1000, 1020):
         t = rng.uniform(0.0, 0.01)
-        heap_event, cal_event = _mirrored_pair(t, seq, 0)
-        heap.push(heap_event)
-        calendar.push(cal_event)
+        for queue, event in zip(queues, _mirrored(t, seq, 0, len(queues))):
+            queue.push(event)
     order = []
-    while len(heap):
-        from_heap, from_calendar = heap.pop(), calendar.pop()
-        assert from_heap.sort_key == from_calendar.sort_key
-        order.append(from_heap.sort_key)
+    while len(queues[0]):
+        popped = [queue.pop() for queue in queues]
+        assert all(e.sort_key == popped[0].sort_key for e in popped[1:])
+        order.append(popped[0].sort_key)
     assert order == sorted(order)
 
 
 @settings(max_examples=50, deadline=None)
 @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
-def test_heap_and_calendar_agree(times):
+def test_all_queues_agree(times):
     heap = HeapScheduler()
     calendar = CalendarQueueScheduler()
+    wheel = TimingWheelScheduler()  # 1 ms ticks: 1e6 s lands in overflow
     for seq, t in enumerate(times):
         heap.push(make_event(t, seq))
         calendar.push(make_event(t, seq))
+        wheel.push(make_event(t, seq))
     heap_order = [(e.time, e.seq) for e in (heap.pop() for _ in times)]
     calendar_order = [(e.time, e.seq) for e in (calendar.pop() for _ in times)]
-    assert heap_order == calendar_order == sorted(heap_order)
+    wheel_order = [(e.time, e.seq) for e in (wheel.pop() for _ in times)]
+    assert heap_order == calendar_order == wheel_order == sorted(heap_order)

@@ -2,14 +2,16 @@
 
 import pytest
 
-from repro.des import CalendarQueueScheduler, Simulator
+from repro.des import CalendarQueueScheduler, Simulator, TimingWheelScheduler
 from repro.des.errors import SchedulerError
 
 
-@pytest.fixture(params=["heap", "calendar"])
+@pytest.fixture(params=["heap", "calendar", "wheel"])
 def sim(request):
     if request.param == "calendar":
         return Simulator(scheduler=CalendarQueueScheduler())
+    if request.param == "wheel":
+        return Simulator(scheduler=TimingWheelScheduler())
     return Simulator()
 
 

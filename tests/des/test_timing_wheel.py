@@ -1,0 +1,257 @@
+"""Timing-wheel-specific properties: cascade boundaries, overflow,
+cancel/reschedule, zero-delay chains, and heap lockstep.
+
+The cross-queue parity suite in ``test_scheduler.py`` already drives the
+wheel through the shared interface; this module targets the geometry the
+shared tests cannot force — window edges, the overflow heap, the
+ready-run bisect path — using deliberately tiny wheels (``slot_bits=2``,
+two levels) so every level boundary is a few ticks away.
+"""
+
+import pytest
+
+from repro.des import HeapScheduler, Simulator, TimingWheelScheduler
+from repro.des.errors import SchedulerError
+from repro.des.event import Event
+from repro.des.random_streams import StreamRegistry
+from repro.tpwire.timing import BusTiming
+
+
+def make_event(time, seq, priority=0):
+    return Event(time, seq, lambda: None, (), priority)
+
+
+def tiny_wheel():
+    """1 s ticks, 4 slots, 2 levels: level-0 window is 4 ticks, the top
+    level's horizon is 16 ticks, and everything beyond overflows."""
+    return TimingWheelScheduler(resolution=1.0, slot_bits=2, levels=2)
+
+
+class TestConstruction:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SchedulerError):
+            TimingWheelScheduler(resolution=0.0)
+        with pytest.raises(SchedulerError):
+            TimingWheelScheduler(slot_bits=1)
+        with pytest.raises(SchedulerError):
+            TimingWheelScheduler(slot_bits=17)
+        with pytest.raises(SchedulerError):
+            TimingWheelScheduler(levels=1)
+
+    def test_for_timing_uses_half_bit_period(self):
+        timing = BusTiming(bit_rate=9600.0)
+        wheel = TimingWheelScheduler.for_timing(timing)
+        assert wheel.resolution == timing.wheel_resolution
+        assert wheel.resolution == pytest.approx(0.5 / 9600.0)
+
+
+class TestCascadeBoundaries:
+    def test_events_straddling_every_window_edge_pop_sorted(self):
+        # Ticks 3|4 straddle the level-0 window edge, 15|16 the top
+        # level's horizon (16+ lands in the overflow heap).
+        times = [100.0, 16.0, 3.0, 64.0, 4.0, 15.0, 17.0, 0.0, 63.0]
+        wheel = tiny_wheel()
+        for seq, t in enumerate(times):
+            wheel.push(make_event(t, seq))
+        assert [wheel.pop().time for _ in times] == sorted(times)
+
+    def test_fifo_preserved_across_a_cascade(self):
+        # Equal-time events placed above level 0 must still drain in seq
+        # order once their slot cascades down.
+        wheel = tiny_wheel()
+        for seq in range(6):
+            wheel.push(make_event(9.0, seq))
+        assert [wheel.pop().seq for _ in range(6)] == list(range(6))
+
+    def test_dense_every_tick_occupancy(self):
+        # One event on every tick across several windows: the bitmap
+        # scan must visit each slot exactly once, in order.
+        wheel = tiny_wheel()
+        for seq in range(32):
+            wheel.push(make_event(float(seq), seq))
+        assert [wheel.pop().seq for _ in range(32)] == list(range(32))
+        assert len(wheel) == 0
+
+    def test_interleaved_pop_and_push_across_windows(self):
+        wheel = tiny_wheel()
+        wheel.push(make_event(1.0, 1))
+        wheel.push(make_event(10.0, 2))
+        assert wheel.pop().time == 1.0
+        # Cursor sits at tick 1; new pushes ahead of it land in whatever
+        # window now applies, behind it would rebuild (covered below).
+        wheel.push(make_event(5.0, 3))
+        wheel.push(make_event(30.0, 4))
+        assert [wheel.pop().time for _ in range(3)] == [5.0, 10.0, 30.0]
+
+
+class TestOverflowHeap:
+    def test_far_future_event_beyond_every_level(self):
+        # Default geometry: 4 levels x 8 bits at 1 ms covers ~4.29e6 s;
+        # 5e6 s can only live in the overflow heap.
+        wheel = TimingWheelScheduler()
+        wheel.push(make_event(0.001, 1))
+        wheel.push(make_event(5_000_000.0, 2))
+        assert wheel.pop().seq == 1
+        assert wheel.peek_time() == 5_000_000.0
+        assert wheel.pop().seq == 2
+        assert len(wheel) == 0
+
+    def test_overflow_refills_one_top_window_at_a_time(self):
+        # Entries in distinct top-level windows (16 ticks apart on the
+        # tiny wheel) re-enter the wheels in separate refill batches.
+        wheel = tiny_wheel()
+        times = [20.0, 100.0, 36.0, 52.0, 21.0, 99.0]
+        for seq, t in enumerate(times):
+            wheel.push(make_event(t, seq))
+        assert [wheel.pop().time for _ in times] == sorted(times)
+
+    def test_push_between_overflow_refills_is_honoured(self):
+        wheel = tiny_wheel()
+        wheel.push(make_event(50.0, 1))
+        wheel.push(make_event(90.0, 2))
+        assert wheel.pop().time == 50.0
+        # The cursor jumped to the 50 s window; 60 s is ahead of it but
+        # in a different top window than the remaining overflow entry.
+        wheel.push(make_event(60.0, 3))
+        assert [wheel.pop().time for _ in range(2)] == [60.0, 90.0]
+
+
+class TestCancelAndReschedule:
+    def test_cancel_then_reschedule_same_time(self):
+        wheel = tiny_wheel()
+        stale = make_event(2.0, 1)
+        wheel.push(stale)
+        stale.cancel()
+        wheel.notify_cancelled()
+        wheel.push(make_event(2.0, 2))
+        assert len(wheel) == 1
+        assert wheel.pop().seq == 2
+        with pytest.raises(SchedulerError):
+            wheel.pop()
+
+    def test_cancel_inside_ready_run_is_skipped(self):
+        wheel = tiny_wheel()
+        events = [make_event(3.0, seq) for seq in range(4)]
+        for event in events:
+            wheel.push(event)
+        assert wheel.pop() is events[0]  # loads tick 3 as the ready run
+        events[2].cancel()
+        wheel.notify_cancelled()
+        assert wheel.pop() is events[1]
+        assert wheel.pop() is events[3]
+        assert len(wheel) == 0
+
+    def test_cancel_far_future_then_reschedule_nearer(self):
+        wheel = tiny_wheel()
+        far = make_event(200.0, 1)
+        wheel.push(far)
+        far.cancel()
+        wheel.notify_cancelled()
+        wheel.push(make_event(7.0, 2))
+        assert wheel.peek_time() == 7.0
+        assert wheel.pop().seq == 2
+
+    def test_out_of_order_push_rebuilds_behind_cursor(self):
+        wheel = tiny_wheel()
+        wheel.push(make_event(10.0, 1))
+        assert wheel.pop().time == 10.0
+        # Standalone use may rewind; the wheel re-keys everything.
+        wheel.push(make_event(1.0, 2))
+        wheel.push(make_event(12.0, 3))
+        assert [wheel.pop().time for _ in range(2)] == [1.0, 12.0]
+
+
+def _zero_delay_chain(sim):
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 5:
+            sim.after(0.0, chain, n + 1)
+
+    sim.after(1.0, chain, 0)
+    sim.after(1.0, log.append, "peer")
+    sim.run()
+    return log
+
+
+class TestZeroDelayChains:
+    def test_chain_bisects_behind_the_drain_point(self):
+        # chain(0) fires first (lower seq), then the already-queued peer,
+        # then each zero-delay link in schedule order — the rescheduled
+        # entries join the live ready run behind ready_pos.
+        log = _zero_delay_chain(Simulator(scheduler=TimingWheelScheduler()))
+        assert log == [0, "peer", 1, 2, 3, 4, 5]
+
+    def test_chain_matches_heap_exactly(self):
+        wheel_log = _zero_delay_chain(
+            Simulator(scheduler=TimingWheelScheduler())
+        )
+        heap_log = _zero_delay_chain(Simulator(scheduler=HeapScheduler()))
+        assert wheel_log == heap_log
+
+    def test_priority_still_wins_within_the_draining_tick(self):
+        sim = Simulator(scheduler=TimingWheelScheduler())
+        log = []
+
+        def first():
+            log.append("first")
+            sim.after(0.0, log.append, "normal")
+            sim.after(0.0, log.append, "urgent", priority=-1)
+
+        sim.after(1.0, first)
+        sim.run()
+        assert log == ["first", "urgent", "normal"]
+
+
+def test_randomized_heap_lockstep_on_tiny_geometry():
+    """Mixed push/cancel/pop against the heap oracle, on a wheel so small
+    that cascades, overflow refills, and rebuilds all happen constantly."""
+    registry = StreamRegistry(master_seed=0x11EE1)
+    for case in range(4):
+        rng = registry.stream(f"wheel-lockstep-{case}")
+        heap = HeapScheduler()
+        wheel = tiny_wheel()
+        live: list[tuple[Event, Event]] = []
+        seq = 0
+        for _ in range(600):
+            action = rng.random()
+            if action < 0.55 or not live:
+                seq += 1
+                t = rng.uniform(0.0, 300.0)  # ~19 top-level windows
+                priority = rng.choice((-1, 0, 1))
+                pair = (make_event(t, seq, priority), make_event(t, seq, priority))
+                heap.push(pair[0])
+                wheel.push(pair[1])
+                live.append(pair)
+            elif action < 0.70:
+                heap_event, wheel_event = live.pop(rng.randrange(len(live)))
+                assert heap_event.cancel() and wheel_event.cancel()
+                heap.notify_cancelled()
+                wheel.notify_cancelled()
+            else:
+                from_heap = heap.pop()
+                from_wheel = wheel.pop()
+                assert from_heap.sort_key == from_wheel.sort_key
+                index = next(
+                    i for i, (he, _) in enumerate(live) if he is from_heap
+                )
+                del live[index]
+        assert len(heap) == len(wheel) == len(live)
+        while len(heap):
+            assert heap.pop().sort_key == wheel.pop().sort_key
+
+
+def test_simulator_firing_order_matches_heap_under_load():
+    """End-to-end: the batched ready-run drain produces the exact firing
+    sequence the one-event-at-a-time heap loop does."""
+    def run(scheduler):
+        sim = Simulator(scheduler=scheduler)
+        rng = sim.stream("wheel-sim-lockstep")
+        fired = []
+        for i in range(3000):
+            sim.at(rng.uniform(0.0, 50.0), fired.append, i)
+        sim.run()
+        return fired
+
+    assert run(TimingWheelScheduler()) == run(HeapScheduler())
