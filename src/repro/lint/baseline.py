@@ -1,0 +1,89 @@
+"""Baseline mode: record today's findings, fail only on new ones.
+
+Large rules (like the interprocedural effect pack) can land before
+every historical finding is fixed: ``--update-baseline`` snapshots the
+current findings into a JSON file, and subsequent runs with
+``--baseline <file>`` report and gate only on findings *not* in the
+snapshot.  The file is meant to shrink over time and be deleted.
+
+Keys are ``(path, rule, message)`` **without line numbers**, counted as
+a multiset — editing an unrelated part of a file moves line numbers but
+must not resurrect baselined findings, while adding a *second* instance
+of an already-baselined message in the same file is still new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.errors import LintError
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule}::{finding.message}"
+
+
+def load_baseline(path: Path) -> Counter:
+    """The baselined multiset; a missing or damaged file is a usage
+    error (a silently-empty baseline would fail the whole run)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != BASELINE_VERSION
+        or not isinstance(data.get("findings"), dict)
+    ):
+        raise LintError(
+            f"baseline {path} has an unrecognised format "
+            f"(expected version {BASELINE_VERSION}; regenerate with "
+            "--update-baseline)"
+        )
+    counts: Counter = Counter()
+    for key, count in data["findings"].items():
+        if isinstance(key, str) and isinstance(count, int) and count > 0:
+            counts[key] = count
+    return counts
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Snapshot ``findings``; returns how many were recorded."""
+    counts = Counter(finding_key(f) for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    except OSError as exc:
+        raise LintError(f"cannot write baseline {path}: {exc}") from exc
+    return sum(counts.values())
+
+
+def filter_new(findings: list[Finding], baseline: Counter) -> list[Finding]:
+    """Findings not covered by the baseline multiset (order preserved).
+
+    Consumes baseline entries one occurrence at a time, so N baselined
+    copies of a message admit exactly N findings and the N+1st is new.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new

@@ -86,6 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the project pass (default: auto)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "report and gate only on findings not recorded in FILE "
+            "(create/refresh it with --update-baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the --baseline file and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
@@ -134,6 +147,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.no_project and args.project_only:
         print(
             "repro-lint: --no-project and --project-only are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_baseline and not args.baseline:
+        print(
+            "repro-lint: --update-baseline requires --baseline FILE",
             file=sys.stderr,
         )
         return 2
@@ -202,6 +221,24 @@ def main(argv: Optional[list[str]] = None) -> int:
         )
     )
     files = len(reports) if reports else len(project_reports)
+
+    if args.baseline:
+        from repro.lint.baseline import filter_new, load_baseline, save_baseline
+
+        baseline_path = Path(args.baseline)
+        try:
+            if args.update_baseline:
+                recorded = save_baseline(baseline_path, findings)
+                if not args.quiet:
+                    print(
+                        f"repro-lint: baseline {baseline_path} updated "
+                        f"({recorded} findings recorded)"
+                    )
+                return 0
+            findings = filter_new(findings, load_baseline(baseline_path))
+        except LintError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
 
     if args.format == "json":
         print(

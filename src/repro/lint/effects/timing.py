@@ -1,0 +1,102 @@
+"""Effects timing guard: the interprocedural pass must stay cheap.
+
+``python -m repro.lint.effects.timing [paths] --budget 5`` runs only the
+determinism rule pack twice in one process — once against an empty
+cache, once warm — and fails unless:
+
+* the warm run re-parsed **zero** files (effect seeds ride inside the
+  cached module summaries),
+* the warm run rebuilt **zero** call graphs (the inferred effects are
+  served from the cache's project-digest tier),
+* cold and warm produced byte-identical findings,
+* the warm pass fits the wall-clock budget.
+
+Like the other timing gates it runs in-process so the numbers reflect
+the analyzer, not interpreter start-up; it is likewise on the
+``wall-clock`` rule's allow list (it measures the linter itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.lint.config import load_config
+from repro.lint.project.timing import measure
+
+#: The determinism rule pack (docs/determinism.md), in gating order.
+EFFECT_RULE_IDS = (
+    "nondet-in-sim",
+    "unstable-iter-order",
+    "obs-hook-mutation",
+    "effect-annotation-drift",
+    "async-unsafe-call",
+)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint-effects-timing",
+        description="assert the effect-inference pass is cache-friendly and cheap",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"])
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=5.0,
+        help="warm-pass wall-clock budget in seconds (default 5)",
+    )
+    parser.add_argument("--warm-runs", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    config = load_config(Path.cwd())
+    paths = [Path(p) for p in args.paths]
+    with tempfile.TemporaryDirectory(prefix="repro-lint-effects-timing-") as tmp:
+        result = measure(
+            paths,
+            config,
+            Path(tmp) / "cache.json",
+            warm_runs=args.warm_runs,
+            select=list(EFFECT_RULE_IDS),
+        )
+
+    print(
+        f"effects pass over {result['files']} files: "
+        f"cold {result['cold_seconds']:.3f}s ({result['cold_parsed']} parsed, "
+        f"{result['cold_effects_built']} graphs built), "
+        f"warm {result['warm_seconds']:.3f}s ({result['warm_parsed']} parsed, "
+        f"{result['warm_effects_built']} graphs built)"
+    )
+    failed = False
+    if not result["identical"]:
+        print("FAIL: warm findings differ from cold findings", file=sys.stderr)
+        failed = True
+    if result["warm_parsed"] != 0:
+        print(
+            f"FAIL: warm run re-parsed {result['warm_parsed']} files "
+            "(effect seeds must come from the summary cache)",
+            file=sys.stderr,
+        )
+        failed = True
+    if result["warm_effects_built"] != 0:
+        print(
+            f"FAIL: warm run rebuilt {result['warm_effects_built']} call "
+            "graphs (inferred effects must come from the digest tier)",
+            file=sys.stderr,
+        )
+        failed = True
+    if result["warm_seconds"] > args.budget:
+        print(
+            f"FAIL: warm pass took {result['warm_seconds']:.3f}s > budget "
+            f"{args.budget:.3f}s",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

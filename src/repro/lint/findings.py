@@ -31,10 +31,12 @@ class Finding:
     col: int
     message: str
     severity: Severity = Severity.ERROR
-    #: Optional witness path as ``((line, note), ...)`` pairs within
-    #: ``path`` — flow rules attach the acquire→leak trace here and the
-    #: SARIF writer renders it as a ``codeFlow``.  A tuple (not a list)
-    #: so the dataclass stays hashable.
+    #: Optional witness path as ``(line, note)`` pairs within ``path``,
+    #: or ``(line, note, step_path)`` triples when a step lives in a
+    #: different file (effect rules attach cross-module call chains) —
+    #: flow rules attach the acquire→leak trace here and the SARIF
+    #: writer renders it as a ``codeFlow``.  A tuple (not a list) so
+    #: the dataclass stays hashable.
     code_flow: tuple = ()
 
     def format(self) -> str:

@@ -28,7 +28,9 @@ from repro.lint.project.graph import ModuleGraph
 
 # 2: ModuleSummary grew the `flow` concurrency-fact field; version-1
 # summaries lack it and must be recomputed, not deserialised.
-CACHE_VERSION = 2
+# 3: ModuleSummary grew the `effects` seed field and the cache grew the
+# project-digest effects tier; version-2 entries must be recomputed.
+CACHE_VERSION = 3
 
 
 def content_hash(data: bytes) -> str:
@@ -42,6 +44,7 @@ class ProjectCache:
         self.path = path
         self.summaries: dict[str, dict] = {}  # file path -> {"sha", "summary"}
         self.envs: dict[str, dict] = {}       # module -> {"digest", "env"}
+        self.effects: dict = {}               # {"digest", "data"} (one blob)
         self.loaded_from_disk = False
 
     # -- persistence -------------------------------------------------------
@@ -59,11 +62,14 @@ class ProjectCache:
             return cache
         summaries = data.get("summaries")
         envs = data.get("envs")
+        effects = data.get("effects")
         if isinstance(summaries, dict):
             cache.summaries = summaries
             cache.loaded_from_disk = True
         if isinstance(envs, dict):
             cache.envs = envs
+        if isinstance(effects, dict):
+            cache.effects = effects
         return cache
 
     def save(self) -> None:
@@ -73,6 +79,7 @@ class ProjectCache:
             "version": CACHE_VERSION,
             "summaries": self.summaries,
             "envs": self.envs,
+            "effects": self.effects,
         }
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -122,3 +129,19 @@ class ProjectCache:
 
     def store_env(self, module: str, digest: str, env: dict) -> None:
         self.envs[module] = {"digest": digest, "env": env}
+
+    # -- inferred effects ---------------------------------------------------
+    #
+    # A single blob for the whole project, keyed on a *project digest*
+    # (every module's content hash plus the inference options — see
+    # :func:`repro.lint.effects.infer.effects_digest`).  Any file edit
+    # changes the digest, so staleness is impossible; pruning is
+    # unnecessary for the same reason.
+
+    def effects_for(self, digest: str) -> Optional[dict]:
+        if self.effects.get("digest") == digest:
+            return self.effects.get("data")
+        return None
+
+    def store_effects(self, digest: str, data: dict) -> None:
+        self.effects = {"digest": digest, "data": data}

@@ -87,6 +87,10 @@ class ModuleSummary:
     #: (locks, per-function acquire/leak/wait records, guarded-by map,
     #: thread lifecycle) — empty for modules that touch none of that.
     flow: dict = field(default_factory=dict)
+    #: Effect seeds distilled by :mod:`repro.lint.effects.extract`
+    #: (per-function effect sites, call sites with lines, scheduler
+    #: registrations, ``# lint: effect=`` annotations, self-mutation).
+    effects: dict = field(default_factory=dict)
     #: {"msg": str, "line": int, "col": int} when the file does not parse.
     parse_error: Optional[dict] = None
 
@@ -107,6 +111,7 @@ class ModuleSummary:
             "refs": self.refs,
             "suppressions": self.suppressions,
             "flow": self.flow,
+            "effects": self.effects,
             "parse_error": self.parse_error,
         }
 
@@ -402,10 +407,12 @@ def summarize_source(source: str, *, path: str, module: str) -> ModuleSummary:
         }
         return summary
     _Extractor(summary).run(tree)
-    # Imported late: flow depends on nothing in this module, but keeping
-    # the import local makes the layering (symbols -> flow.facts) obvious
-    # at the one point it happens.
+    # Imported late: flow/effects depend on nothing in this module, but
+    # keeping the imports local makes the layering (symbols ->
+    # flow.facts / effects.extract) obvious at the one point it happens.
+    from repro.lint.effects.extract import extract_effects
     from repro.lint.flow.facts import extract_flow
 
     summary.flow = extract_flow(tree, source, module)
+    summary.effects = extract_effects(tree, source, module)
     return summary

@@ -75,6 +75,9 @@ def measure(
         "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
         "cold_parsed": cold_stats.parsed,
         "warm_parsed": warm_stats.parsed,
+        "cold_effects_built": cold_stats.effects_built,
+        "warm_effects_built": warm_stats.effects_built,
+        "warm_effects_reused": warm_stats.effects_reused,
         "files": warm_stats.files,
         "identical": _findings_bytes(cold_reports) == _findings_bytes(warm_reports),
     }

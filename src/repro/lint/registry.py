@@ -142,6 +142,7 @@ def all_rule_classes() -> dict[str, Type[Rule]]:
     import repro.lint.rules  # noqa: F401
     import repro.lint.project.rules  # noqa: F401
     import repro.lint.flow.rules  # noqa: F401
+    import repro.lint.effects.rules  # noqa: F401
 
     return dict(_REGISTRY)
 

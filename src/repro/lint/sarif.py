@@ -57,19 +57,24 @@ def _result(finding: Finding, rule_index: dict[str, int], suppressed: bool) -> d
 
 def _code_flow(finding: Finding) -> dict:
     """One codeFlow/threadFlow from the finding's witness path — how
-    viewers render the acquire → leak trace step by step."""
-    locations = [
-        {
-            "location": {
-                "physicalLocation": {
-                    "artifactLocation": {"uri": finding.path},
-                    "region": {"startLine": max(int(line), 1)},
-                },
-                "message": {"text": str(note)},
+    viewers render the acquire → leak (or call-chain) trace step by
+    step.  A two-element step stays in the finding's file; a third
+    element is the step's own file (effect chains cross modules)."""
+    locations = []
+    for step in finding.code_flow:
+        line, note = step[0], step[1]
+        uri = step[2] if len(step) > 2 else finding.path
+        locations.append(
+            {
+                "location": {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": str(uri)},
+                        "region": {"startLine": max(int(line), 1)},
+                    },
+                    "message": {"text": str(note)},
+                }
             }
-        }
-        for line, note in finding.code_flow
-    ]
+        )
     return {"threadFlows": [{"locations": locations}]}
 
 

@@ -92,22 +92,31 @@ class MetricRegistry:
     # -- creation (idempotent per name/kind) -------------------------------
 
     def counter(self, name: str) -> Counter:
-        return self._get(self._counters, name, lambda: Counter(name))
+        return self._get("counter", name, lambda: Counter(name))
 
     def gauge(self, name: str, initial: float = 0.0) -> TimeWeightedMonitor:
         return self._get(
-            self._gauges,
+            "gauge",
             name,
             lambda: TimeWeightedMonitor(self._shim, initial=initial, name=name),
         )
 
     def histogram(self, name: str) -> TallyMonitor:
-        return self._get(self._histograms, name, lambda: TallyMonitor(name=name))
+        return self._get("histogram", name, lambda: TallyMonitor(name=name))
 
     def rate(self, name: str) -> RateMonitor:
-        return self._get(self._rates, name, lambda: RateMonitor(self._shim, name=name))
+        return self._get("rate", name, lambda: RateMonitor(self._shim, name=name))
 
-    def _get(self, table: dict, name: str, factory):
+    def _table(self, kind: str) -> dict:
+        return {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+            "rate": self._rates,
+        }[kind]
+
+    def _get(self, kind: str, name: str, factory):
+        table = self._table(kind)
         self._check_name(name, skip=table)
         if name not in table:
             table[name] = factory()

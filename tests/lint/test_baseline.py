@@ -1,0 +1,116 @@
+"""Baseline mode: snapshot findings, gate only on new ones."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import filter_new, load_baseline, save_baseline
+from repro.lint.cli import main
+from repro.lint.errors import LintError
+from repro.lint.findings import Finding
+
+from tests.lint.project.projutil import write_project
+
+
+def finding(path="src/a.py", rule="wall-clock", message="m", line=1):
+    return Finding(rule=rule, path=path, line=line, col=1, message=message)
+
+
+def test_round_trip_counts_as_a_multiset(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [finding(line=3), finding(line=9), finding(message="other")])
+    baseline = load_baseline(path)
+    assert baseline["src/a.py::wall-clock::m"] == 2
+    assert baseline["src/a.py::wall-clock::other"] == 1
+
+
+def test_filter_new_consumes_occurrences_not_lines(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [finding(line=3)])
+    baseline = load_baseline(path)
+    # Same message on a moved line is baselined; a second copy is new.
+    moved = finding(line=40)
+    second = finding(line=41)
+    assert filter_new([moved], baseline) == []
+    assert filter_new([moved, second], baseline) == [second]
+
+
+def test_filter_new_keeps_unrelated_findings(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [finding()])
+    baseline = load_baseline(path)
+    fresh = finding(rule="frame-bounds")
+    assert filter_new([finding(), fresh], baseline) == [fresh]
+
+
+def test_missing_or_damaged_baseline_is_a_usage_error(tmp_path):
+    with pytest.raises(LintError):
+        load_baseline(tmp_path / "absent.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json", encoding="utf-8")
+    with pytest.raises(LintError):
+        load_baseline(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"version": 99, "findings": {}}), encoding="utf-8")
+    with pytest.raises(LintError):
+        load_baseline(wrong)
+
+
+_FIXTURE = {
+    "pyproject.toml": """\
+        [tool.repro-lint.project]
+        roots = ["src"]
+        cache = ".cache.json"
+        """,
+    "src/repro/net/__init__.py": "",
+    "src/repro/net/drv.py": """\
+        import time
+
+        def sample():
+            return time.time()
+        """,
+}
+
+
+def test_cli_update_then_gate_only_on_new_findings(tmp_path, monkeypatch, capsys):
+    write_project(tmp_path, _FIXTURE)
+    monkeypatch.chdir(tmp_path)
+
+    # Dirty tree without a baseline: fails.
+    assert main(["src", "--select", "wall-clock"]) == 1
+    capsys.readouterr()
+
+    # Snapshot, then the same tree passes.
+    assert (
+        main(["src", "--select", "wall-clock", "--baseline", "bl.json",
+              "--update-baseline"])
+        == 0
+    )
+    assert "baseline" in capsys.readouterr().out
+    assert main(["src", "--select", "wall-clock", "--baseline", "bl.json"]) == 0
+    capsys.readouterr()
+
+    # A new finding still gates.
+    drv = tmp_path / "src/repro/net/drv.py"
+    drv.write_text(
+        drv.read_text(encoding="utf-8")
+        + "\ndef again():\n    return time.monotonic()\n",
+        encoding="utf-8",
+    )
+    assert main(["src", "--select", "wall-clock", "--baseline", "bl.json"]) == 1
+    out = capsys.readouterr().out
+    assert "monotonic" in out and "time.time" not in out
+
+
+def test_cli_update_baseline_requires_the_file_argument(tmp_path, monkeypatch, capsys):
+    write_project(tmp_path, _FIXTURE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["src", "--update-baseline"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_cli_missing_baseline_file_is_a_usage_error(tmp_path, monkeypatch, capsys):
+    write_project(tmp_path, _FIXTURE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["src", "--select", "wall-clock", "--baseline", "nope.json"]) == 2
+    assert "baseline" in capsys.readouterr().err
