@@ -20,10 +20,12 @@ from repro.core.errors import (
     SpaceError,
 )
 from repro.core.protocol import (
+    REQUEST_ID_MODULUS,
     Message,
     MessageType,
     StreamParser,
     encode_message,
+    make_wire_codec,
 )
 from repro.core.xmlcodec import XmlCodec
 
@@ -56,6 +58,8 @@ class SpaceClient:
         self.clock = clock if clock is not None else SystemClock()
         self.request_timeout = request_timeout
         self._parser = StreamParser(codec)
+        self._wire = make_wire_codec("xml", codec)
+        self.wire_codec = "xml"
         self._next_request_id = 0
         self._notify_handlers: dict[int, Callable] = {}
         self.requests_sent = 0
@@ -147,8 +151,38 @@ class SpaceClient:
         reply = self._request(MessageType.PING, {})
         return reply.msg_type is MessageType.PONG
 
+    def hello(self, codecs: str = "binary,xml") -> str:
+        """Negotiate the body codec; returns the server's pick.
+
+        Must be the first request on the connection (both sides switch
+        encodings right after the HELLO/HELLO_ACK pair, so frames from
+        earlier requests could otherwise still be in flight).  Servers
+        predating the exchange answer ERROR; the client then simply
+        stays on XML.
+        """
+        try:
+            reply = self._request(MessageType.HELLO, {"codecs": codecs})
+        except SpaceError:
+            return self.wire_codec
+        self._expect(reply, MessageType.HELLO_ACK)
+        chosen = reply.params.get("codec", "xml")
+        if chosen != self.wire_codec:
+            self._wire = make_wire_codec(chosen, self.codec)
+            self._parser.set_codec(self._wire)
+            self.wire_codec = chosen
+        return chosen
+
     def poll_events(self) -> int:
-        """Drain pending notify events without issuing a request."""
+        """Drain pending notify events without issuing a request.
+
+        Never blocks: connections exposing ``recv_ready()`` (sockets,
+        the loopback) are only read when bytes are already pending —
+        a bare blocking ``recv`` here used to park the caller forever
+        when no event had arrived.
+        """
+        ready = getattr(self.connection, "recv_ready", None)
+        if ready is not None and not ready():
+            return 0
         dispatched = 0
         for message in self._parser.feed(self.connection.recv_bytes()):
             if message.msg_type is not MessageType.NOTIFY_EVENT:
@@ -172,10 +206,13 @@ class SpaceClient:
         return reply.item
 
     def _request(self, msg_type: MessageType, params: dict, item: Any = None) -> Message:
-        self._next_request_id += 1
+        # The header packs ids as >I: wrap modulo 2^32 (skipping 0, which
+        # ERROR replies use when no request id was recoverable) instead of
+        # letting request 2^32 die with a struct.error mid-stream.
+        self._next_request_id = (self._next_request_id + 1) % REQUEST_ID_MODULUS or 1
         request_id = self._next_request_id
         message = Message(msg_type, request_id, params, item)
-        self.connection.send_bytes(encode_message(message, self.codec))
+        self.connection.send_bytes(encode_message(message, self._wire))
         self.requests_sent += 1
         return self._await_response(request_id)
 
@@ -205,9 +242,19 @@ class SpaceClient:
                     if message.msg_type is MessageType.ERROR:
                         raise SpaceError(message.params.get("text", "server error"))
                     return message
-                if message.request_id < request_id:
-                    # A duplicated response, or one that arrived after
-                    # its request timed out: harmless, drop it.
+                if (
+                    message.msg_type is MessageType.ERROR
+                    and message.request_id == 0
+                ):
+                    # Connection-fatal server error (a frame so broken no
+                    # request id was recoverable); the close follows.
+                    raise SpaceError(message.params.get("text", "server error"))
+                # Wrap-safe ordering: a response is *stale* when its id
+                # sits behind ours in the modular half-window (duplicated,
+                # or arrived after its request timed out) — a plain `<`
+                # would misclassify everything straddling the 2^32 wrap.
+                behind = (request_id - message.request_id) % REQUEST_ID_MODULUS
+                if 0 < behind < REQUEST_ID_MODULUS // 2:
                     self.stale_responses += 1
                     continue
                 raise ProtocolError(

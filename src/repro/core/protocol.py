@@ -15,6 +15,13 @@ Frame layout (big-endian)::
 Requests carry scalar parameters (lease duration, timeout, lease ids) as
 attributes of a ``<request>`` wrapper element whose first child, if any,
 is the XML-encoded entry/tuple/template.
+
+The *frame* layout is codec-independent; only the body encoding varies.
+A connection starts out speaking XML bodies.  A client may open with a
+``HELLO`` message offering body codecs (``codecs="binary,xml"``); the
+server answers ``HELLO_ACK`` naming its pick, still in the old encoding,
+and both sides switch for every subsequent frame.  A client that never
+sends ``HELLO`` gets the historical XML protocol unchanged (docs/wire.md).
 """
 
 from __future__ import annotations
@@ -46,6 +53,8 @@ class MessageType(enum.IntEnum):
     CANCEL_LEASE = 0x07
     RENEW_LEASE = 0x08
     PING = 0x09
+    HELLO = 0x0A
+    STATS = 0x0B
     # server -> client
     WRITE_ACK = 0x81
     RESULT_ENTRY = 0x82
@@ -55,6 +64,8 @@ class MessageType(enum.IntEnum):
     LEASE_ACK = 0x86
     ERROR = 0x87
     PONG = 0x88
+    HELLO_ACK = 0x89
+    STATS_ACK = 0x8A
 
 
 #: Message types a server may send.
@@ -67,7 +78,15 @@ RESPONSE_TYPES = {
     MessageType.LEASE_ACK,
     MessageType.ERROR,
     MessageType.PONG,
+    MessageType.HELLO_ACK,
+    MessageType.STATS_ACK,
 }
+
+#: Body codecs this build can negotiate, in server preference order.
+SUPPORTED_CODECS = ("binary", "xml")
+
+#: Request ids live in the 32-bit header field; clients wrap modulo this.
+REQUEST_ID_MODULUS = 1 << 32
 
 
 @dataclass
@@ -100,16 +119,75 @@ class Message:
             raise ProtocolError(f"parameter {name}={value!r} is not an int")
 
 
-def encode_message(message: Message, codec: XmlCodec) -> bytes:
-    """Serialise a :class:`Message` to wire bytes."""
-    root = ET.Element("request")
-    for key, value in sorted(message.params.items()):
-        root.set(key, str(value))
-    if message.item is not None:
-        root.append(codec.to_element(message.item))
-    body = b"" if not message.params and message.item is None else ET.tostring(
-        root, encoding="utf-8"
-    )
+class XmlWireCodec:
+    """The historical body encoding: an XML ``<request>`` document.
+
+    A *wire codec* turns a :class:`Message` into body bytes and back;
+    the frame header around the body never changes.  This one wraps the
+    :class:`XmlCodec` value model and is what every connection speaks
+    until (unless) a HELLO exchange negotiates another.
+    """
+
+    name = "xml"
+
+    def __init__(self, registry: XmlCodec):
+        self.registry = registry
+
+    def encode_body(self, message: Message) -> bytes:
+        if not message.params and message.item is None:
+            return b""
+        root = ET.Element("request")
+        for key, value in sorted(message.params.items()):
+            root.set(key, str(value))
+        if message.item is not None:
+            root.append(self.registry.to_element(message.item))
+        return ET.tostring(root, encoding="utf-8")
+
+    def decode_body(self, msg_type: MessageType, request_id: int, body: bytes) -> Message:
+        return decode_body(msg_type, request_id, body, self.registry)
+
+
+def as_wire_codec(codec) -> Any:
+    """Normalise: a bare :class:`XmlCodec` means the XML wire encoding."""
+    if isinstance(codec, XmlCodec):
+        return XmlWireCodec(codec)
+    return codec
+
+
+def make_wire_codec(name: str, registry: XmlCodec):
+    """Instantiate a negotiated body codec over a value-model registry."""
+    if name == "xml":
+        return XmlWireCodec(registry)
+    if name == "binary":
+        # Function-local on purpose: bincodec imports Message from here,
+        # and this lazy edge keeps the module graph acyclic.
+        from repro.core.bincodec import BinaryWireCodec
+
+        return BinaryWireCodec(registry)
+    raise ProtocolError(f"unknown wire codec {name!r}")
+
+
+def negotiate_codec(offered: str) -> Optional[str]:
+    """Server side of HELLO: pick from a comma-separated offer.
+
+    Returns the first name in :data:`SUPPORTED_CODECS` the client also
+    offered, or ``None`` when nothing overlaps (the server then answers
+    ``HELLO_ACK`` naming ``xml``, which every client speaks already).
+    """
+    names = {name.strip() for name in offered.split(",") if name.strip()}
+    for candidate in SUPPORTED_CODECS:
+        if candidate in names:
+            return candidate
+    return None
+
+
+def encode_message(message: Message, codec) -> bytes:
+    """Serialise a :class:`Message` to wire bytes.
+
+    ``codec`` is an :class:`XmlCodec` (historical call sites — XML
+    bodies) or any wire codec exposing ``encode_body``.
+    """
+    body = as_wire_codec(codec).encode_body(message)
     if len(body) > MAX_BODY:
         raise ProtocolError(f"message body too large: {len(body)} bytes")
     header = HEADER.pack(
@@ -141,12 +219,30 @@ class StreamParser:
 
     Used by every transport — TCP sockets, in-memory pipes and the TpWIRE
     bridges — since all of them deliver arbitrary byte chunks.
+
+    ``codec`` is an :class:`XmlCodec` (XML bodies, the default wire
+    encoding) or any wire codec with ``decode_body``; :meth:`set_codec`
+    switches mid-stream after a HELLO exchange — framing is shared, so
+    the switch is clean at any frame boundary.
+
+    When a frame is malformed the raised :class:`ProtocolError` leaves
+    :attr:`error_request_id` holding the frame's request id if the header
+    was intact (transports use it to answer ``ERROR`` before closing) and
+    ``None`` when the stream itself lost sync (bad magic — nothing about
+    the frame can be trusted, not even the id).
     """
 
-    def __init__(self, codec: XmlCodec):
-        self.codec = codec
+    def __init__(self, codec):
+        self.codec = as_wire_codec(codec)
         self._buffer = bytearray()
         self.messages_parsed = 0
+        #: request id of the frame whose parse last failed, if the
+        #: header survived; ``None`` after sync loss.
+        self.error_request_id: Optional[int] = None
+
+    def set_codec(self, codec) -> None:
+        """Switch body codecs at a frame boundary (HELLO negotiation)."""
+        self.codec = as_wire_codec(codec)
 
     def feed(self, data: bytes) -> list[Message]:
         """Append bytes; return every message completed by them."""
@@ -163,20 +259,25 @@ class StreamParser:
             return None
         magic, raw_type, request_id, length = HEADER.unpack_from(self._buffer)
         if magic != MAGIC:
+            self.error_request_id = None
             raise ProtocolError(f"bad magic {magic!r}; stream out of sync")
         if length > MAX_BODY:
+            self.error_request_id = request_id
             raise ProtocolError(f"declared body too large: {length}")
         total = HEADER.size + length
         if len(self._buffer) < total:
             return None
         body = bytes(self._buffer[HEADER.size : total])
         del self._buffer[:total]
+        self.error_request_id = request_id
         try:
             msg_type = MessageType(raw_type)
         except ValueError:
             raise ProtocolError(f"unknown message type {raw_type:#x}")
+        message = self.codec.decode_body(msg_type, request_id, body)
         self.messages_parsed += 1
-        return decode_body(msg_type, request_id, body, self.codec)
+        self.error_request_id = None
+        return message
 
     @property
     def buffered_bytes(self) -> int:

@@ -233,14 +233,20 @@ class ResilientSpaceClient:
                     continue
             try:
                 client = self._ensure_client()
-            except ConnectionClosedError:
+            except (ConnectionClosedError, OSError):
                 # Connection establishment never reached the server with
                 # a request, so retrying is safe for every operation.
+                # Real-socket factories surface a refused/unreachable
+                # server as OSError (ConnectionRefusedError) rather than
+                # ConnectionClosedError — both mean "reconnect later".
                 attempt = self._note_failure(attempt, retryable=True)
                 continue
             try:
                 result = op(client)
-            except (ConnectionClosedError, RequestTimeoutError):
+            except (ConnectionClosedError, RequestTimeoutError, OSError):
+                # OSError: a TCP send/recv on a connection the server
+                # dropped (BrokenPipeError, ECONNRESET) — same contract
+                # as ConnectionClosedError, reached mid-operation.
                 self._drop_client()
                 attempt = self._note_failure(attempt, retryable=idempotent)
                 continue

@@ -16,12 +16,20 @@ RMI proxy, mirroring the paper's server-internal RMI hop.
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 from typing import Optional
 
-from repro.core.errors import ConnectionClosedError
-from repro.core.protocol import Message, StreamParser, encode_message
+from repro.core.errors import ConnectionClosedError, ProtocolError
+from repro.core.protocol import (
+    Message,
+    MessageType,
+    StreamParser,
+    encode_message,
+    make_wire_codec,
+    negotiate_codec,
+)
 from repro.core.rmi import Registry
 from repro.core.server import SpaceServer, ThreadTimers
 from repro.core.xmlcodec import XmlCodec
@@ -75,6 +83,11 @@ class LocalConnection:
             data = bytes(self._rx[:max_bytes])
             del self._rx[: len(data)]
         return data
+
+    def recv_ready(self) -> bool:
+        """Bytes pending?  (Non-blocking drain for ``poll_events``.)"""
+        with self._lock:
+            return bool(self._rx)
 
     def close(self) -> None:
         if self.closed:
@@ -225,13 +238,44 @@ class SocketSpaceServer:
                 except OSError:
                     pass
 
-        session = _LockedSession(_ProxySession(codec, sink), self._lock)
+        proxy_session = _ProxySession(codec, sink)
+        session = _LockedSession(proxy_session, self._lock)
         try:
             while self._running:
                 data = conn.recv(65536)
                 if not data:
                     return
-                for message in parser.feed(data):
+                try:
+                    messages = parser.feed(data)
+                except ProtocolError as exc:
+                    # A malformed frame is the *client's* bug, not a
+                    # reason to die with a traceback (ProtocolError is a
+                    # SpaceError, which the OSError/ValueError net below
+                    # never caught).  Answer ERROR when the frame header
+                    # survived enough to recover a request id, then close.
+                    request_id = parser.error_request_id
+                    if request_id is not None:
+                        session.send(Message(
+                            MessageType.ERROR, request_id, {"text": str(exc)}
+                        ))
+                    return
+                for message in messages:
+                    if message.msg_type is MessageType.HELLO:
+                        # Codec negotiation is transport-level: ack in
+                        # the current encoding, then switch both
+                        # directions for subsequent frames.
+                        chosen = negotiate_codec(
+                            message.params.get("codecs", "")
+                        ) or "xml"
+                        session.send(Message(
+                            MessageType.HELLO_ACK,
+                            message.request_id,
+                            {"codec": chosen},
+                        ))
+                        wire = make_wire_codec(chosen, codec)
+                        parser.set_codec(wire)
+                        proxy_session.codec = wire
+                        continue
                     with self._lock:
                         self._proxy.handle(session, message)
         except (OSError, ValueError):
@@ -295,6 +339,17 @@ class SocketConnection:
         if not data:
             self.closed = True
         return data
+
+    def recv_ready(self) -> bool:
+        """Bytes pending?  A zero-timeout select, so event polling
+        (``SpaceClient.poll_events``) never parks in a blocking recv."""
+        if self.closed:
+            return True  # let recv_bytes surface the EOF
+        try:
+            readable, _, _ = select.select([self._sock], [], [], 0)
+        except (OSError, ValueError):
+            return True
+        return bool(readable)
 
     def close(self) -> None:
         self.closed = True

@@ -54,6 +54,14 @@ class XmlCodec:
     def known_classes(self) -> list[str]:
         return sorted(self._classes)
 
+    def resolve_class(self, name: str) -> type:
+        """Registered Entry class for ``name`` (shared with the binary
+        codec, which decodes against the same value model/registry)."""
+        entry_class = self._classes.get(name)
+        if entry_class is None:
+            raise ProtocolError(f"unregistered entry class {name!r}")
+        return entry_class
+
     # -- encoding -----------------------------------------------------------
 
     def encode(self, item: Any) -> bytes:
@@ -113,8 +121,15 @@ class XmlCodec:
         elif isinstance(value, bytes):
             element.set("type", "bytes")
             element.text = value.hex()
-        elif isinstance(value, (list, tuple)):
+        elif isinstance(value, list):
             element.set("type", "list")
+            for member in value:
+                element.append(self._field_element(member))
+        elif isinstance(value, tuple):
+            # A distinct tag: encoding tuples as "list" made
+            # ``LindaTuple("k", (1, 2))`` round-trip to a list field and
+            # stop equality-matching its own template over the wire.
+            element.set("type", "pytuple")
             for member in value:
                 element.append(self._field_element(member))
         elif isinstance(value, dict):
@@ -161,9 +176,7 @@ class XmlCodec:
         class_name = element.get("class")
         if class_name is None:
             raise ProtocolError("<entry> without a class attribute")
-        entry_class = self._classes.get(class_name)
-        if entry_class is None:
-            raise ProtocolError(f"unregistered entry class {class_name!r}")
+        entry_class = self.resolve_class(class_name)
         fields = {}
         for child in element:
             name = child.get("name")
@@ -198,11 +211,19 @@ class XmlCodec:
             return bytes.fromhex(text)
         if kind == "list":
             return [self._read_value(child) for child in element]
+        if kind == "pytuple":
+            return tuple(self._read_value(child) for child in element)
         if kind == "dict":
-            return {
-                child.get("name"): self._read_value(child)
-                for child in element
-            }
+            members = {}
+            for child in element:
+                name = child.get("name")
+                if name is None:
+                    # The encoder enforces string keys; accepting a
+                    # nameless field here would fabricate a {None: ...}
+                    # key no encoder could ever have produced.
+                    raise ProtocolError("dict <field> without a name")
+                members[name] = self._read_value(child)
+            return members
         if kind == "tuple":
             return LindaTuple(*[self._read_value(child) for child in element])
         if kind == "entry":
@@ -219,6 +240,7 @@ class XmlCodec:
         "bool": bool,
         "bytes": bytes,
         "list": list,
+        "tuple": tuple,
         "dict": dict,
     }
 

@@ -1,0 +1,182 @@
+"""Adversarial StreamParser coverage: hostile frames, hostile chunking.
+
+The satellite bugs of the wire-path fix all lived at this seam — these
+tests pin the parser's contract: typed errors only, ``error_request_id``
+telling transports whether an ERROR reply is possible, and chunking
+invariance for *both* body codecs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Entry, LindaTuple, XmlCodec
+from repro.core.errors import ProtocolError
+from repro.core.protocol import (
+    HEADER,
+    MAGIC,
+    MAX_BODY,
+    Message,
+    MessageType,
+    StreamParser,
+    encode_message,
+    make_wire_codec,
+)
+
+
+class Job(Entry):
+    def __init__(self, name=None, priority=None):
+        self.name = name
+        self.priority = priority
+
+
+def make_registry():
+    codec = XmlCodec()
+    codec.register(Job)
+    return codec
+
+
+def frame(msg_type=MessageType.PING, request_id=1, body=b""):
+    return HEADER.pack(MAGIC, int(msg_type), request_id, len(body)) + body
+
+
+class TestOversizedBody:
+    def test_declared_body_too_large(self):
+        parser = StreamParser(make_registry())
+        hostile = HEADER.pack(MAGIC, int(MessageType.WRITE), 42, MAX_BODY + 1)
+        with pytest.raises(ProtocolError, match="too large"):
+            parser.feed(hostile)
+        # Header was intact: the transport can still answer ERROR.
+        assert parser.error_request_id == 42
+
+    def test_exactly_max_body_is_accepted_length(self):
+        parser = StreamParser(make_registry())
+        header = HEADER.pack(MAGIC, int(MessageType.WRITE), 1, MAX_BODY)
+        # No error on the header alone — the parser just waits for bytes.
+        assert parser.feed(header) == []
+        assert parser.buffered_bytes == HEADER.size
+
+
+class TestBadMagic:
+    def test_bad_magic_first_frame(self):
+        parser = StreamParser(make_registry())
+        with pytest.raises(ProtocolError, match="magic"):
+            parser.feed(b"XX" + b"\x00" * 16)
+        # Sync is lost: nothing about the stream is trustworthy.
+        assert parser.error_request_id is None
+
+    def test_bad_magic_mid_stream_after_valid_frames(self):
+        parser = StreamParser(make_registry())
+        good = frame(MessageType.PING, 7)
+        assert len(parser.feed(good + good)) == 2
+        with pytest.raises(ProtocolError, match="magic"):
+            parser.feed(b"GET / HTTP/1.1\r\n\r\n")
+        assert parser.error_request_id is None
+        assert parser.messages_parsed == 2
+
+
+class TestTruncatedHeader:
+    def test_header_split_across_feeds(self):
+        parser = StreamParser(make_registry())
+        data = frame(MessageType.PING, 5)
+        for split in range(1, HEADER.size):
+            fresh = StreamParser(make_registry())
+            assert fresh.feed(data[:split]) == []
+            (message,) = fresh.feed(data[split:])
+            assert message.request_id == 5
+
+    def test_partial_header_never_errors(self):
+        parser = StreamParser(make_registry())
+        data = frame(MessageType.PING, 9)
+        for byte in data[:-1]:
+            # byte-at-a-time: silence (not errors) until the frame completes
+            assert parser.feed(bytes([byte])) == []
+        (message,) = parser.feed(data[-1:])
+        assert message.request_id == 9
+        assert parser.buffered_bytes == 0
+
+
+class TestErrorRequestId:
+    def test_set_on_undecodable_body(self):
+        parser = StreamParser(make_registry())
+        with pytest.raises(ProtocolError):
+            parser.feed(frame(MessageType.WRITE, 13, b"<not-even-xml"))
+        assert parser.error_request_id == 13
+
+    def test_set_on_unknown_message_type(self):
+        parser = StreamParser(make_registry())
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            parser.feed(HEADER.pack(MAGIC, 0x7E, 21, 0))
+        assert parser.error_request_id == 21
+
+    def test_cleared_after_successful_parse(self):
+        parser = StreamParser(make_registry())
+        with pytest.raises(ProtocolError):
+            parser.feed(frame(MessageType.WRITE, 13, b"garbage"))
+        fresh = StreamParser(make_registry())
+        (message,) = fresh.feed(frame(MessageType.PING, 14))
+        assert fresh.error_request_id is None
+        assert message.msg_type is MessageType.PING
+
+    def test_binary_codec_body_error_keeps_id(self):
+        registry = make_registry()
+        parser = StreamParser(make_registry())
+        parser.set_codec(make_wire_codec("binary", registry))
+        with pytest.raises(ProtocolError):
+            parser.feed(frame(MessageType.WRITE, 99, b"\x01\xff\xff"))
+        assert parser.error_request_id == 99
+
+
+def _sample_messages(registry, wire):
+    items = [
+        Message(MessageType.PING, 1),
+        Message(MessageType.WRITE, 2, {"lease": 30}, Job("grind", 3)),
+        Message(MessageType.TAKE, 3, {"timeout": 1.5}, Job(name="grind")),
+        Message(
+            MessageType.WRITE, 4, {}, LindaTuple("k", (1, 2), [3], {"a": None})
+        ),
+        Message(MessageType.ERROR, 5, {"text": "boom & <tags>"}),
+    ]
+    return b"".join(encode_message(m, wire) for m in items), items
+
+
+class TestChunkingInvariance:
+    """Any chunking of a valid stream parses to the same messages —
+    fuzzed boundaries, both body codecs."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), codec_name=st.sampled_from(["xml", "binary"]))
+    def test_fuzzed_chunk_boundaries(self, seed, codec_name):
+        import random
+
+        rng = random.Random(seed)
+        registry = make_registry()
+        wire = make_wire_codec(codec_name, registry)
+        stream, originals = _sample_messages(registry, wire)
+        parser = StreamParser(make_registry())
+        parser.set_codec(make_wire_codec(codec_name, make_registry()))
+        parsed = []
+        position = 0
+        while position < len(stream):
+            step = rng.randint(1, 24)
+            parsed.extend(parser.feed(stream[position : position + step]))
+            position += step
+        assert len(parsed) == len(originals)
+        for got, want in zip(parsed, originals):
+            assert got.msg_type is want.msg_type
+            assert got.request_id == want.request_id
+            assert got.item == want.item
+        assert parser.buffered_bytes == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        noise=st.binary(min_size=1, max_size=64),
+        codec_name=st.sampled_from(["xml", "binary"]),
+    )
+    def test_noise_never_crashes_untyped(self, noise, codec_name):
+        parser = StreamParser(make_registry())
+        parser.set_codec(make_wire_codec(codec_name, make_registry()))
+        try:
+            parser.feed(noise)
+        except ProtocolError:
+            pass  # the only error type the parser may raise

@@ -99,6 +99,7 @@ def test_load_config_reads_repo_pyproject():
     ]
     assert config.rule_options["effects"]["barrier"] == [
         "repro.core.transports:SocketConnection.*",
+        "repro.board.gdb_stub:GdbStub.feed",
     ]
 
 
